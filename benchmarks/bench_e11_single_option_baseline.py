@@ -1,0 +1,72 @@
+"""E11 -- rider outcomes vs a single-option, system-optimal dispatcher (Section 1).
+
+Paper claim: existing systems return one option chosen to minimise the
+system-wide extra travel distance, which may be neither the cheapest nor the
+fastest ride for the individual traveller; PTRider lets the rider pick.  The
+benchmark answers the same requests with the nearest-vehicle baseline and with
+PTRider, then measures how often the skyline contains a strictly cheaper
+option, a strictly earlier option, or both, than the single system-optimal
+assignment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import build_city, format_table, probe_requests, warm_up_fleet
+
+
+def build_busy_city(seed: int = 97):
+    city = build_city(rows=12, columns=12, vehicles=40, seed=seed)
+    warm_up_fleet(city, requests=16, seed=seed)
+    return city
+
+
+@pytest.mark.parametrize("matcher_name", ["nearest", "single_side"])
+def test_e11_latency(benchmark, matcher_name):
+    city = build_busy_city()
+    matcher = city.matcher(matcher_name)
+    requests = probe_requests(city, count=20, seed=101)
+    benchmark(lambda: [matcher.match(request) for request in requests])
+    benchmark.extra_info["options_per_request"] = round(
+        matcher.statistics.options_returned / max(1, matcher.statistics.requests_answered), 2
+    )
+
+
+def test_e11_rider_outcomes():
+    city = build_busy_city()
+    baseline = city.matcher("nearest")
+    ptrider = city.matcher("single_side")
+    requests = probe_requests(city, count=30, seed=103)
+
+    cheaper = faster = both = comparable = 0
+    for request in requests:
+        single = baseline.match(request)
+        skyline = ptrider.match(request)
+        if not single or not skyline:
+            continue
+        comparable += 1
+        target = single[0]
+        has_cheaper = min(o.price for o in skyline) < target.price - 1e-9
+        has_faster = min(o.pickup_distance for o in skyline) < target.pickup_distance - 1e-9
+        cheaper += has_cheaper
+        faster += has_faster
+        both += has_cheaper and has_faster
+        # sanity: the baseline assignment is itself a feasible option, so the
+        # skyline is never strictly worse in both dimensions simultaneously.
+        assert min(o.price for o in skyline) <= target.price + 1e-9 or min(
+            o.pickup_distance for o in skyline
+        ) <= target.pickup_distance + 1e-9
+
+    assert comparable >= 20
+    # the headline claim: a large share of riders can do better on at least one axis
+    assert (cheaper + faster) > 0
+    assert cheaper / comparable > 0.2 or faster / comparable > 0.2
+
+    rows = [
+        ("strictly cheaper option exists", f"{cheaper}/{comparable}"),
+        ("strictly earlier option exists", f"{faster}/{comparable}"),
+        ("both exist simultaneously", f"{both}/{comparable}"),
+    ]
+    print("\nE11 -- PTRider skyline vs the system-optimal single option\n"
+          + format_table(("outcome", "requests"), rows))

@@ -1,0 +1,60 @@
+"""E4 -- multiple non-dominated options per request (Sections 1 and 2).
+
+Paper claim: unlike single-option systems, PTRider returns several options
+with different pick-up times and prices (the seaside-couple example: wait
+longer, pay less).  The benchmark measures how many non-dominated options a
+request receives as the fleet around it gets busier, and checks the trade-off
+structure: within one skyline, a later pick-up never costs more.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import build_city, format_table, probe_requests, warm_up_fleet
+
+
+def skyline_sizes(vehicles: int, warm_requests: int, seed: int = 29):
+    city = build_city(rows=12, columns=12, vehicles=vehicles, seed=seed)
+    if warm_requests:
+        warm_up_fleet(city, requests=warm_requests, seed=seed)
+    matcher = city.matcher("single_side")
+    counts = []
+    for request in probe_requests(city, count=30, seed=seed + 1):
+        options = matcher.match(request)
+        counts.append(len(options))
+        # skyline structure: sorted by pick-up, prices must be non-increasing
+        ordered = sorted(options, key=lambda o: o.pickup_distance)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later.price <= earlier.price + 1e-9
+    return counts
+
+
+@pytest.mark.parametrize("load", ["idle_fleet", "busy_fleet"])
+def test_e4_skyline_size(benchmark, load):
+    warm = 0 if load == "idle_fleet" else 20
+
+    def run():
+        return skyline_sizes(vehicles=40, warm_requests=warm)
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["average_options"] = round(sum(counts) / len(counts), 2)
+    benchmark.extra_info["max_options"] = max(counts)
+    benchmark.extra_info["share_with_choice"] = round(
+        sum(1 for c in counts if c >= 2) / len(counts), 2
+    )
+
+
+def test_e4_busier_fleets_offer_more_choice():
+    idle = skyline_sizes(vehicles=40, warm_requests=0)
+    busy = skyline_sizes(vehicles=40, warm_requests=20)
+    # An idle fleet of empty vehicles collapses to a single cheapest-and-fastest
+    # offer; trade-offs (and hence >= 2 options) appear once schedules exist.
+    assert max(busy) >= 2
+    assert sum(busy) / len(busy) >= sum(idle) / len(idle)
+    rows = [
+        ("idle fleet", f"{sum(idle) / len(idle):.2f}", max(idle)),
+        ("busy fleet", f"{sum(busy) / len(busy):.2f}", max(busy)),
+    ]
+    print("\nE4 -- non-dominated options per request\n"
+          + format_table(("fleet state", "avg options", "max options"), rows))

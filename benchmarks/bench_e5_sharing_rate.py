@@ -1,0 +1,39 @@
+"""E5 -- the average sharing rate (Section 4.2).
+
+Paper claim: the website panel shows a *high* average sharing rate -- the
+system is effective at making riders share vehicles.  The benchmark replays
+trip workloads of increasing demand density against a fixed fleet and reports
+the sharing rate; it must grow with demand and become substantial when demand
+clearly exceeds the fleet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import build_city, format_table, run_trip_simulation
+
+
+def sharing_rate_for(trips: int, vehicles: int = 12, seed: int = 37) -> float:
+    city = build_city(rows=10, columns=10, vehicles=vehicles, grid_rows=5, grid_columns=5, seed=seed)
+    report = run_trip_simulation(city, trips=trips, duration=150.0, speed=0.8)
+    return report.statistics.sharing_rate
+
+
+@pytest.mark.parametrize("trips", [30, 90])
+def test_e5_sharing_rate(benchmark, trips):
+    rate = benchmark.pedantic(lambda: sharing_rate_for(trips), rounds=1, iterations=1)
+    benchmark.extra_info["trips"] = trips
+    benchmark.extra_info["sharing_rate"] = round(rate, 3)
+    assert 0.0 <= rate <= 1.0
+
+
+def test_e5_sharing_grows_with_demand():
+    series = [(trips, sharing_rate_for(trips)) for trips in (30, 60, 120)]
+    rates = [rate for _, rate in series]
+    # denser demand on the same fleet forces more sharing
+    assert rates[-1] >= rates[0]
+    assert rates[-1] > 0.15
+    rows = [(trips, f"{rate:.2f}") for trips, rate in series]
+    print("\nE5 -- sharing rate vs demand (12 vehicles, 150 time units)\n"
+          + format_table(("trips", "sharing rate"), rows))

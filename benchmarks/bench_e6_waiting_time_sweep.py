@@ -1,0 +1,62 @@
+"""E6 -- sensitivity to the maximum waiting time ``w`` (admin panel, Fig. 4(c)).
+
+The global waiting budget controls how much an already-promised pick-up may
+slip when new riders are inserted.  A larger ``w`` admits more candidate
+schedules, so riders see more options and the fleet shares more, at the cost
+of more verification work per request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import DEFAULT_CONFIG, build_city, format_table, probe_requests, run_trip_simulation, warm_up_fleet
+
+
+def sweep_point(max_waiting: float, seed: int = 47):
+    config = DEFAULT_CONFIG.with_updates(max_waiting=max_waiting)
+    city = build_city(rows=12, columns=12, vehicles=30, seed=seed, config=config)
+    warm_up_fleet(city, requests=15, seed=seed)
+    matcher = city.matcher("single_side")
+    requests = probe_requests(city, count=25, seed=seed + 1)
+    options = [matcher.match(request) for request in requests]
+    average_options = sum(len(o) for o in options) / len(options)
+    evaluated = matcher.statistics.vehicles_evaluated
+    return average_options, evaluated
+
+
+@pytest.mark.parametrize("max_waiting", [2.0, 8.0])
+def test_e6_waiting_budget(benchmark, max_waiting):
+    average_options, evaluated = benchmark.pedantic(
+        lambda: sweep_point(max_waiting), rounds=1, iterations=1
+    )
+    benchmark.extra_info["max_waiting"] = max_waiting
+    benchmark.extra_info["average_options"] = round(average_options, 2)
+    benchmark.extra_info["vehicles_evaluated"] = evaluated
+
+
+def test_e6_larger_waiting_budget_gives_more_options():
+    series = [(w, *sweep_point(w)) for w in (1.0, 4.0, 12.0)]
+    options = [row[1] for row in series]
+    assert options[-1] >= options[0]
+    rows = [(w, f"{avg:.2f}", evaluated) for w, avg, evaluated in series]
+    print("\nE6 -- effect of the maximum waiting time w\n"
+          + format_table(("w", "avg options", "vehicles verified"), rows))
+
+
+def test_e6_waiting_budget_affects_service_quality():
+    """End-to-end: a tighter w keeps promised pick-ups honest (smaller waiting slip)."""
+    tight = DEFAULT_CONFIG.with_updates(max_waiting=1.0)
+    loose = DEFAULT_CONFIG.with_updates(max_waiting=12.0)
+    results = {}
+    for name, config in (("tight", tight), ("loose", loose)):
+        city = build_city(rows=10, columns=10, vehicles=12, seed=53, config=config)
+        report = run_trip_simulation(city, trips=70, duration=150.0)
+        stats = report.statistics
+        max_wait = max(stats.waiting_distances) if stats.waiting_distances else 0.0
+        results[name] = (stats.sharing_rate, max_wait, config.max_waiting)
+    # the waiting-time condition is enforced: observed slip never exceeds w
+    for sharing, max_wait, budget in results.values():
+        assert max_wait <= budget + 1e-6
+    # a looser budget should never share less
+    assert results["loose"][0] >= results["tight"][0] - 0.05

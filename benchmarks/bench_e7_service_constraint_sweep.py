@@ -1,0 +1,49 @@
+"""E7 -- sensitivity to the service constraint ``epsilon`` (admin panel, Fig. 4(c)).
+
+``epsilon`` caps the detour riders tolerate between their start and
+destination.  A larger value admits more shared schedules (higher sharing
+rate, more options) while the realised detour ratio of completed trips stays
+below ``1 + epsilon`` -- that bound is the correctness half of the experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import DEFAULT_CONFIG, build_city, format_table, run_trip_simulation
+
+
+def sweep_point(epsilon: float, seed: int = 59):
+    config = DEFAULT_CONFIG.with_updates(service_constraint=epsilon)
+    city = build_city(rows=10, columns=10, vehicles=12, grid_rows=5, grid_columns=5, seed=seed,
+                      config=config)
+    report = run_trip_simulation(city, trips=80, duration=150.0, speed=0.8)
+    stats = report.statistics
+    max_detour = max(stats.detour_ratios) if stats.detour_ratios else 1.0
+    return stats.sharing_rate, stats.average_detour_ratio, max_detour, stats.average_option_count
+
+
+@pytest.mark.parametrize("epsilon", [0.2, 0.8])
+def test_e7_service_constraint(benchmark, epsilon):
+    sharing, avg_detour, max_detour, avg_options = benchmark.pedantic(
+        lambda: sweep_point(epsilon), rounds=1, iterations=1
+    )
+    benchmark.extra_info["epsilon"] = epsilon
+    benchmark.extra_info["sharing_rate"] = round(sharing, 3)
+    benchmark.extra_info["avg_detour_ratio"] = round(avg_detour, 3)
+    # the service constraint of Definition 2 is never violated
+    assert max_detour <= 1.0 + epsilon + 1e-6
+
+
+def test_e7_looser_detours_increase_sharing():
+    series = [(eps, *sweep_point(eps)) for eps in (0.1, 0.4, 1.0)]
+    sharing = [row[1] for row in series]
+    assert sharing[-1] >= sharing[0]
+    for eps, _, _, max_detour, _ in series:
+        assert max_detour <= 1.0 + eps + 1e-6
+    rows = [
+        (eps, f"{share:.2f}", f"{avg:.3f}", f"{mx:.3f}", f"{opts:.2f}")
+        for eps, share, avg, mx, opts in series
+    ]
+    print("\nE7 -- effect of the service constraint epsilon\n"
+          + format_table(("epsilon", "sharing rate", "avg detour", "max detour", "avg options"), rows))

@@ -1,0 +1,9 @@
+"""Pytest configuration for the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of the invocation directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

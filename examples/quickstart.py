@@ -1,0 +1,72 @@
+"""Quickstart: build a PTRider system, book a ride, pick an option, watch it happen.
+
+This walks through the exact flow of the demo's smartphone interface
+(Section 4.1 of the paper):
+
+1. the rider enters a start location, a destination and the group size;
+2. PTRider returns every non-dominated <vehicle, pick-up time, price> option;
+3. the rider picks the one matching their preference;
+4. the vehicle drives, picks the riders up and drops them off.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_system
+
+
+def main() -> None:
+    # A 12x12 synthetic city with 30 taxis placed uniformly at random.
+    system = build_system(network_rows=12, network_columns=12, vehicles=30, seed=2024)
+    network = system.fleet.grid.network
+
+    # Make the fleet a little busy first, so price/time trade-offs exist.
+    vertices = network.vertices()
+    for start, destination in [(5, 130), (20, 100), (77, 12), (140, 30)]:
+        booking = system.book(vertices[start], vertices[destination], riders=1)
+        if booking.options:
+            system.choose(booking.booking_id, 0)
+    system.advance(3.0)
+
+    # --- step 1: the rider books a trip -------------------------------------
+    start, destination = vertices[8], vertices[120]
+    booking = system.book(start, destination, riders=2)
+    print(f"Request: 2 riders from vertex {start} to vertex {destination}")
+    print(f"Matching took {booking.response_seconds * 1000:.2f} ms")
+
+    # --- step 2: PTRider returns the non-dominated options ------------------
+    if not booking.options:
+        print("No vehicle can serve this request right now.")
+        return
+    print(f"\n{len(booking.options)} non-dominated option(s):")
+    for index, option in enumerate(booking.options):
+        print(
+            f"  [{index}] vehicle {option.vehicle_id:>4}:"
+            f" pick-up distance {option.pickup_distance:6.2f},"
+            f" price {option.price:6.2f}"
+        )
+
+    # --- step 3: the rider chooses (here: the cheapest offer) ---------------
+    cheapest = min(range(len(booking.options)), key=lambda i: booking.options[i].price)
+    chosen = system.choose(booking.booking_id, cheapest)
+    print(f"\nChose option [{cheapest}] -> vehicle {chosen.vehicle_id}")
+    print("That vehicle's trip schedules (kinetic-tree branches):")
+    for schedule in system.vehicle_schedules(chosen.vehicle_id):
+        legs = " -> ".join(f"{kind}:{request}@{vertex}" for vertex, kind, request in schedule)
+        print(f"  {legs}")
+
+    # --- step 4: the world moves on ------------------------------------------
+    system.advance(60.0)
+    stats = system.statistics()
+    print("\nAfter 60 time units:")
+    print(f"  pick-ups fired : {stats['pickups']:.0f}")
+    print(f"  drop-offs fired: {stats['dropoffs']:.0f}")
+    print(f"  sharing rate   : {stats['sharing_rate']:.2f}")
+    print(f"  avg response   : {stats['average_response_time'] * 1000:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

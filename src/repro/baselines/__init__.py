@@ -1,0 +1,22 @@
+"""Comparison systems PTRider is evaluated against.
+
+* :mod:`repro.baselines.nearest` -- a single-option dispatcher in the spirit
+  of lyft / uberPOOL as characterised in the paper's introduction: it returns
+  the one assignment minimising the system-wide extra travel distance;
+* :mod:`repro.baselines.sharek` -- a SHAREK-style matcher (Cao et al., MDM
+  2015): price-and-time options, but Euclidean-distance pruning and only one
+  rider group per vehicle trip;
+* :mod:`repro.baselines.tshare` -- a T-Share-style matcher (Ma et al., ICDE
+  2013): grid-based search that returns the single earliest-pick-up feasible
+  vehicle.
+
+All baselines implement the common :class:`repro.core.matcher.Matcher`
+interface so they can be swapped into the dispatcher, the simulation engine
+and the benchmarks without further glue.
+"""
+
+from repro.baselines.nearest import NearestVehicleMatcher
+from repro.baselines.sharek import SharekStyleMatcher
+from repro.baselines.tshare import TShareStyleMatcher
+
+__all__ = ["NearestVehicleMatcher", "SharekStyleMatcher", "TShareStyleMatcher"]

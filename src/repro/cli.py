@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Three subcommands cover the everyday uses of the reproduction:
+
+``ptrider demo``
+    Build a small system, book a trip, print the price/time options and show
+    the chosen vehicle's schedules -- the smartphone flow of Section 4.1 in
+    text form.
+
+``ptrider simulate``
+    Run a day-fraction simulation on a synthetic Shanghai-like workload and
+    print the website statistics panel (Section 4.2).
+
+``ptrider compare``
+    Answer the same burst of requests with the naive, single-side and
+    dual-side matchers and print how much verification work each needed
+    (a quick view of experiment E3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.dispatcher import Dispatcher, OptionPolicy
+from repro.core.dual_side import DualSideSearchMatcher
+from repro.core.naive import NaiveKineticTreeMatcher
+from repro.core.single_side import SingleSideSearchMatcher
+from repro.model.request import Request
+from repro.roadnet.generators import grid_network
+from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.shortest_path import DistanceOracle
+from repro.service.api import build_system
+from repro.sim.engine import SimulationEngine
+from repro.sim.trips import ShanghaiLikeTripGenerator
+from repro.sim.workload import RequestWorkload, random_requests
+from repro.vehicles.fleet import Fleet
+from repro.vehicles.vehicle import Vehicle
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Return the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="ptrider",
+        description="PTRider: price-and-time-aware ridesharing (reproduction of Chen et al., PVLDB 2018)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="book one trip and show the options")
+    demo.add_argument("--vehicles", type=int, default=25, help="fleet size")
+    demo.add_argument("--rows", type=int, default=12, help="road-network rows")
+    demo.add_argument("--columns", type=int, default=12, help="road-network columns")
+    demo.add_argument("--riders", type=int, default=2, help="riders in the group")
+    demo.add_argument("--seed", type=int, default=7, help="random seed")
+
+    simulate = subparsers.add_parser("simulate", help="run a workload simulation")
+    simulate.add_argument("--vehicles", type=int, default=40, help="fleet size")
+    simulate.add_argument("--rows", type=int, default=15, help="road-network rows")
+    simulate.add_argument("--columns", type=int, default=15, help="road-network columns")
+    simulate.add_argument("--trips", type=int, default=200, help="number of trips in the workload")
+    simulate.add_argument("--duration", type=float, default=600.0, help="simulated duration (time units)")
+    simulate.add_argument(
+        "--matcher", choices=("single_side", "dual_side", "naive"), default="single_side"
+    )
+    simulate.add_argument("--seed", type=int, default=7, help="random seed")
+
+    compare = subparsers.add_parser("compare", help="compare matcher work on one request burst")
+    compare.add_argument("--vehicles", type=int, default=60, help="fleet size")
+    compare.add_argument("--rows", type=int, default=15, help="road-network rows")
+    compare.add_argument("--columns", type=int, default=15, help="road-network columns")
+    compare.add_argument("--requests", type=int, default=30, help="requests in the burst")
+    compare.add_argument("--seed", type=int, default=7, help="random seed")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``ptrider`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    return _run_compare(args)
+
+
+# ----------------------------------------------------------------------
+def _run_demo(args: argparse.Namespace) -> int:
+    system = build_system(
+        network_rows=args.rows,
+        network_columns=args.columns,
+        vehicles=args.vehicles,
+        seed=args.seed,
+    )
+    rng = random.Random(args.seed)
+    vertices = system.fleet.grid.network.vertices()
+    start, destination = rng.sample(vertices, 2)
+    booking = system.book(start, destination, riders=args.riders)
+    print(f"Request: {booking.request.describe()}")
+    if not booking.options:
+        print("No vehicle can serve this request right now.")
+        return 1
+    print(f"{len(booking.options)} non-dominated option(s):")
+    for index, option in enumerate(booking.options):
+        print(
+            f"  [{index}] vehicle {option.vehicle_id}: pick-up distance {option.pickup_distance:.2f}, "
+            f"price {option.price:.2f}"
+        )
+    chosen = system.choose(booking.booking_id, 0)
+    print(f"Chose option 0 (vehicle {chosen.vehicle_id}).")
+    print("Vehicle schedules (kinetic-tree branches):")
+    for schedule in system.vehicle_schedules(chosen.vehicle_id):
+        print("  " + " -> ".join(f"{kind}:{request}@{vertex}" for vertex, kind, request in schedule))
+    return 0
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    network = grid_network(args.rows, args.columns, weight_jitter=0.25, seed=args.seed)
+    grid = GridIndex(network, rows=8, columns=8)
+    fleet = Fleet(grid, DistanceOracle(network))
+    rng = random.Random(args.seed)
+    vertices = network.vertices()
+    for index in range(args.vehicles):
+        fleet.add_vehicle(Vehicle(f"c{index + 1}", location=rng.choice(vertices), capacity=4))
+    config = SystemConfig(max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0)
+    matcher = {
+        "single_side": SingleSideSearchMatcher,
+        "dual_side": DualSideSearchMatcher,
+        "naive": NaiveKineticTreeMatcher,
+    }[args.matcher](fleet, config=config)
+    dispatcher = Dispatcher(fleet, matcher, config)
+    generator = ShanghaiLikeTripGenerator(network, seed=args.seed)
+    trips = generator.generate(args.trips, day_seconds=args.duration)
+    workload = RequestWorkload.from_trips(trips, config.max_waiting, config.service_constraint)
+    engine = SimulationEngine(dispatcher, workload, speed=1.0, tick=1.0, seed=args.seed)
+    report = engine.run(until=args.duration + 50.0)
+    print(f"Matcher: {matcher.name}")
+    for key, value in sorted(report.panel().items()):
+        print(f"  {key:>25}: {value:.4f}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    results = []
+    for matcher_class in (NaiveKineticTreeMatcher, SingleSideSearchMatcher, DualSideSearchMatcher):
+        network = grid_network(args.rows, args.columns, weight_jitter=0.25, seed=args.seed)
+        grid = GridIndex(network, rows=8, columns=8)
+        fleet = Fleet(grid, DistanceOracle(network))
+        rng = random.Random(args.seed)
+        vertices = network.vertices()
+        for index in range(args.vehicles):
+            fleet.add_vehicle(Vehicle(f"c{index + 1}", location=rng.choice(vertices), capacity=4))
+        config = SystemConfig(max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0)
+        matcher = matcher_class(fleet, config=config)
+        dispatcher = Dispatcher(fleet, matcher, config)
+        requests = random_requests(
+            network,
+            args.requests,
+            config.max_waiting,
+            config.service_constraint,
+            seed=args.seed,
+        )
+        started = time.perf_counter()
+        dispatcher.dispatch_batch(requests, policy=OptionPolicy.CHEAPEST)
+        elapsed = time.perf_counter() - started
+        stats = matcher.statistics.as_dict()
+        results.append((matcher.name, elapsed, stats))
+    print(f"{'matcher':>12} {'seconds':>9} {'evaluated':>10} {'pruned':>8} {'options':>8}")
+    for name, elapsed, stats in results:
+        print(
+            f"{name:>12} {elapsed:>9.3f} {stats['vehicles_evaluated']:>10.0f} "
+            f"{stats['vehicles_pruned']:>8.0f} {stats['options_returned']:>8.0f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Global system parameters.
+
+Section 3.1 of the paper: "PTRider sets a global maximum waiting time and a
+global service constraint", and the website interface (Section 4.2) lets an
+administrator configure the taxi capacity, the number of taxis, the maximum
+waiting time, the service constraint, the price calculator and the matching
+algorithm.  :class:`SystemConfig` gathers those knobs so the dispatcher, the
+service layer and the simulation engine share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.pricing import LinearPriceModel
+from repro.errors import ConfigurationError
+
+__all__ = ["SystemConfig", "DEMO_SPEED_KMH"]
+
+#: The constant speed assumed in the demonstration (48 km/h).
+DEMO_SPEED_KMH = 48.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Global PTRider parameters (the admin panel of Fig. 4(c)).
+
+    Attributes:
+        vehicle_capacity: seats per taxi.
+        max_waiting: global maximum waiting time ``w`` applied to requests
+            that do not specify their own, in distance units.
+        service_constraint: global detour tolerance ``epsilon`` applied to
+            requests that do not specify their own.
+        speed: constant vehicle speed in distance units per time unit; used to
+            convert between pick-up distances and pick-up times.
+        max_pickup_distance: optional cap on the pick-up distance of returned
+            options.  ``None`` reproduces Definition 4 literally (every
+            non-dominated option, however far the vehicle); a finite value is
+            what a deployment would use and lets the grid searches terminate
+            early.
+        matcher_name: which matching algorithm the service uses
+            ("single_side", "dual_side" or "naive").
+        price_model: the price calculator.
+    """
+
+    vehicle_capacity: int = 4
+    max_waiting: float = 5.0
+    service_constraint: float = 0.2
+    speed: float = 1.0
+    max_pickup_distance: Optional[float] = None
+    matcher_name: str = "single_side"
+    price_model: LinearPriceModel = field(default_factory=LinearPriceModel)
+
+    _VALID_MATCHERS = ("single_side", "dual_side", "naive")
+
+    def __post_init__(self) -> None:
+        if self.vehicle_capacity < 1:
+            raise ConfigurationError(f"vehicle_capacity must be >= 1, got {self.vehicle_capacity}")
+        if self.max_waiting < 0:
+            raise ConfigurationError(f"max_waiting must be non-negative, got {self.max_waiting}")
+        if self.service_constraint < 0:
+            raise ConfigurationError(
+                f"service_constraint must be non-negative, got {self.service_constraint}"
+            )
+        if self.speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {self.speed}")
+        if self.max_pickup_distance is not None and self.max_pickup_distance <= 0:
+            raise ConfigurationError(
+                f"max_pickup_distance must be positive or None, got {self.max_pickup_distance}"
+            )
+        if self.matcher_name not in self._VALID_MATCHERS:
+            raise ConfigurationError(
+                f"matcher_name must be one of {self._VALID_MATCHERS}, got {self.matcher_name!r}"
+            )
+
+    def with_updates(self, **changes: object) -> "SystemConfig":
+        """Return a copy with the given fields replaced (admin panel edits)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def distance_to_time(self, distance: float) -> float:
+        """Convert a distance to a travel time at the configured speed."""
+        return distance / self.speed
+
+    def time_to_distance(self, time: float) -> float:
+        """Convert a travel time to a distance at the configured speed."""
+        return time * self.speed

@@ -1,0 +1,260 @@
+"""The request / options / choice cycle (Section 3.1) and the greedy strategy.
+
+The dispatcher glues the matcher, the fleet and the price model together:
+
+1. a rider submits a request (:meth:`Dispatcher.submit`);
+2. the matcher returns the non-dominated options;
+3. the rider picks one (or an :class:`OptionPolicy` picks automatically in
+   simulations), and :meth:`Dispatcher.commit` installs the choice: the
+   vehicle's kinetic tree is rebuilt with every schedule that remains valid
+   after adding the request, the request becomes *waiting* on that vehicle,
+   and the grid's vehicle lists are refreshed.
+
+When several requests are issued simultaneously, PTRider applies a greedy
+strategy (Section 2.5): requests are processed one after the other in
+submission order, each seeing the fleet state left behind by its
+predecessors; :meth:`Dispatcher.dispatch_batch` implements exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.insertion import feasible_schedules_for_commit
+from repro.core.matcher import Matcher
+from repro.errors import MatchingError, NoMatchError, UnknownOptionError
+from repro.model.options import RideOption
+from repro.model.request import Request
+from repro.vehicles.fleet import Fleet
+
+__all__ = ["OptionPolicy", "DispatchOutcome", "Dispatcher"]
+
+
+class OptionPolicy(enum.Enum):
+    """Automatic option-selection policies used by simulations and examples.
+
+    The demo lets a human pick; simulations need a stand-in rider.  The
+    policies model the preference spectrum the paper motivates (cheapest ride
+    versus earliest pick-up), plus a balanced compromise.
+    """
+
+    CHEAPEST = "cheapest"
+    FASTEST = "fastest"
+    BALANCED = "balanced"
+    FIRST = "first"
+
+    def choose(self, options: Sequence[RideOption]) -> RideOption:
+        """Pick one option from a non-empty skyline.
+
+        Raises:
+            MatchingError: when ``options`` is empty.
+        """
+        if not options:
+            raise MatchingError("cannot choose from an empty option list")
+        if self is OptionPolicy.CHEAPEST:
+            return min(options, key=lambda o: (o.price, o.pickup_distance, o.vehicle_id))
+        if self is OptionPolicy.FASTEST:
+            return min(options, key=lambda o: (o.pickup_distance, o.price, o.vehicle_id))
+        if self is OptionPolicy.BALANCED:
+            max_price = max(o.price for o in options) or 1.0
+            max_pickup = max(o.pickup_distance for o in options) or 1.0
+            return min(
+                options,
+                key=lambda o: (o.price / max_price + o.pickup_distance / max_pickup, o.vehicle_id),
+            )
+        return options[0]
+
+
+@dataclass(frozen=True)
+class DispatchOutcome:
+    """What happened to one request."""
+
+    request: Request
+    options: Tuple[RideOption, ...]
+    chosen: Optional[RideOption]
+    match_seconds: float
+
+    @property
+    def matched(self) -> bool:
+        """``True`` when the request received at least one option and accepted one."""
+        return self.chosen is not None
+
+    @property
+    def option_count(self) -> int:
+        """Number of non-dominated options offered."""
+        return len(self.options)
+
+
+class Dispatcher:
+    """Coordinates matching, rider choice and fleet updates."""
+
+    def __init__(self, fleet: Fleet, matcher: Matcher, config: Optional[SystemConfig] = None) -> None:
+        self._fleet = fleet
+        self._matcher = matcher
+        self._config = config or matcher.config
+        #: requests currently waiting or riding, keyed by id (for the service layer)
+        self._active_requests: Dict[str, str] = {}
+
+    @property
+    def fleet(self) -> Fleet:
+        """The fleet being dispatched."""
+        return self._fleet
+
+    @property
+    def matcher(self) -> Matcher:
+        """The matching algorithm in use."""
+        return self._matcher
+
+    @property
+    def config(self) -> SystemConfig:
+        """The global system parameters."""
+        return self._config
+
+    def vehicle_of_request(self, request_id: str) -> Optional[str]:
+        """Return the vehicle currently serving ``request_id`` (``None`` when unknown)."""
+        return self._active_requests.get(request_id)
+
+    # ------------------------------------------------------------------
+    # the three steps of Section 3.1
+    # ------------------------------------------------------------------
+    def normalise(self, request: Request) -> Request:
+        """Apply the global waiting-time / service-constraint defaults.
+
+        PTRider "sets a global maximum waiting time and a global service
+        constraint" (Section 3.1); riders only supply locations and group
+        size.  A request whose constraints already match the globals is
+        returned unchanged.
+        """
+        if (
+            request.max_waiting == self._config.max_waiting
+            and request.service_constraint == self._config.service_constraint
+        ):
+            return request
+        return Request(
+            start=request.start,
+            destination=request.destination,
+            riders=request.riders,
+            max_waiting=self._config.max_waiting,
+            service_constraint=self._config.service_constraint,
+            request_id=request.request_id,
+            submit_time=request.submit_time,
+        )
+
+    def submit(self, request: Request) -> List[RideOption]:
+        """Step (ii): return the qualified, non-dominated options for ``request``."""
+        return self._matcher.match(request)
+
+    def commit(self, request: Request, option: RideOption) -> None:
+        """Step (iii): the rider chose ``option``; update vehicle and indexes.
+
+        Raises:
+            UnknownOptionError: when the option does not belong to the request
+                or its vehicle can no longer serve it.
+        """
+        if option.request_id and option.request_id != request.request_id:
+            raise UnknownOptionError(
+                f"option for request {option.request_id} cannot serve {request.request_id}"
+            )
+        vehicle = self._fleet.get(option.vehicle_id)
+        schedules = feasible_schedules_for_commit(vehicle, request, self._fleet.oracle, self._fleet.grid)
+        # The accepted option fixes the rider's *planned* pick-up; from now on
+        # the waiting-time condition (Definition 2, condition 3) applies to the
+        # new request too, so schedules that would already pick the rider up
+        # more than ``w`` later than promised are not valid branches.
+        schedules = self._filter_by_promised_pickup(vehicle, request, option, schedules)
+        if not schedules:
+            raise UnknownOptionError(
+                f"vehicle {option.vehicle_id} can no longer serve request {request.request_id}"
+            )
+        if option.schedule and tuple(option.schedule) not in {tuple(s) for s in schedules}:
+            # The fleet state moved on since the option was computed (another
+            # rider's commit, a location update); the promise can no longer be
+            # kept exactly, so refuse rather than silently degrade.
+            raise UnknownOptionError(
+                f"the chosen schedule of vehicle {option.vehicle_id} is no longer feasible"
+            )
+        direct = self._fleet.oracle.distance(request.start, request.destination)
+        vehicle.assign(
+            request,
+            planned_pickup_distance=option.pickup_distance,
+            direct_distance=direct,
+            schedules=schedules,
+        )
+        self._fleet.refresh_vehicle(vehicle.vehicle_id)
+        self._active_requests[request.request_id] = vehicle.vehicle_id
+
+    def _filter_by_promised_pickup(self, vehicle, request, option, schedules):
+        """Keep only schedules honouring the promised pick-up within ``w``."""
+        from repro.vehicles.schedule import evaluate_schedule
+
+        budget = option.pickup_distance + request.max_waiting + 1e-9
+        oracle = self._fleet.oracle
+        kept = []
+        for schedule in schedules:
+            metrics = evaluate_schedule(vehicle.location, schedule, oracle.distance, vehicle.offset)
+            if metrics.pickup_distance[request.request_id] <= budget:
+                kept.append(schedule)
+        return kept
+
+    # ------------------------------------------------------------------
+    # automatic dispatch (simulation / examples)
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        request: Request,
+        policy: OptionPolicy = OptionPolicy.CHEAPEST,
+        apply_global_constraints: bool = True,
+    ) -> DispatchOutcome:
+        """Submit, auto-choose and commit one request.
+
+        Returns a :class:`DispatchOutcome`; a request with no qualifying
+        option is reported unmatched rather than raising.
+        """
+        if apply_global_constraints:
+            request = self.normalise(request)
+        started = time.perf_counter()
+        options = self.submit(request)
+        elapsed = time.perf_counter() - started
+        if not options:
+            return DispatchOutcome(request=request, options=(), chosen=None, match_seconds=elapsed)
+        chosen = policy.choose(options)
+        self.commit(request, chosen)
+        return DispatchOutcome(
+            request=request, options=tuple(options), chosen=chosen, match_seconds=elapsed
+        )
+
+    def dispatch_batch(
+        self,
+        requests: Iterable[Request],
+        policy: OptionPolicy = OptionPolicy.CHEAPEST,
+        apply_global_constraints: bool = True,
+    ) -> List[DispatchOutcome]:
+        """Greedy handling of simultaneous requests (Section 2.5).
+
+        Requests are processed in the given order; each sees the fleet state
+        produced by its predecessors' commits.
+        """
+        return [
+            self.dispatch(request, policy=policy, apply_global_constraints=apply_global_constraints)
+            for request in requests
+        ]
+
+    # ------------------------------------------------------------------
+    # lifecycle notifications from the simulation engine
+    # ------------------------------------------------------------------
+    def notify_pickup(self, vehicle_id: str, request_id: str) -> None:
+        """Record that ``request_id`` boarded ``vehicle_id`` (index refresh)."""
+        vehicle = self._fleet.get(vehicle_id)
+        vehicle.pickup(request_id)
+        self._fleet.refresh_vehicle(vehicle_id)
+
+    def notify_dropoff(self, vehicle_id: str, request_id: str) -> None:
+        """Record that ``request_id`` alighted from ``vehicle_id`` (index refresh)."""
+        vehicle = self._fleet.get(vehicle_id)
+        vehicle.dropoff(request_id)
+        self._fleet.refresh_vehicle(vehicle_id)
+        self._active_requests.pop(request_id, None)

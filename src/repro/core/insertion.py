@@ -1,0 +1,238 @@
+"""Inserting a request into a vehicle's kinetic tree.
+
+For every branch (valid schedule) of a vehicle's kinetic tree and every
+position pair, the candidate schedule obtained by inserting the request's
+pick-up and drop-off stops is checked against the four validity conditions of
+Definition 2.  Each feasible candidate yields
+
+* its pick-up distance ``dist_pt`` (travel distance from the vehicle's current
+  location to the request start along the candidate schedule), and
+* its *added distance* ``dist(tr_j) - dist(tr_i)`` relative to the branch it
+  was inserted into,
+
+which the matchers turn into ``<vehicle, time, price>`` options.
+
+Section 3.3 of the paper notes that the number of shortest-path computations
+can be reduced compared to the plain kinetic-tree algorithm "by estimating
+the lower and upper bounds of the shortest path distance".  When a grid index
+is supplied, this module short-circuits candidates whose *lower-bound*
+distances already violate a constraint, skipping their exact evaluation; the
+exact check still runs for every candidate that survives, so the result set
+is identical with and without the grid (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.request import Request
+from repro.model.stops import Stop, StopKind
+from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.shortest_path import DistanceOracle
+from repro.vehicles.schedule import (
+    RequestState,
+    check_schedule,
+    enumerate_insertions,
+    evaluate_schedule,
+    schedule_distance,
+)
+from repro.vehicles.vehicle import Vehicle
+
+__all__ = ["InsertionCandidate", "insertion_candidates", "InsertionStatistics"]
+
+
+@dataclass(frozen=True)
+class InsertionCandidate:
+    """One feasible way of serving a request with a particular vehicle."""
+
+    vehicle_id: str
+    schedule: Tuple[Stop, ...]
+    base_schedule: Tuple[Stop, ...]
+    pickup_distance: float
+    added_distance: float
+    total_distance: float
+
+    def __post_init__(self) -> None:
+        if self.pickup_distance < 0:
+            raise ValueError("pickup_distance must be non-negative")
+
+
+@dataclass
+class InsertionStatistics:
+    """Counters describing how much work an insertion call performed."""
+
+    candidates_enumerated: int = 0
+    candidates_feasible: int = 0
+    candidates_rejected_by_bounds: int = 0
+
+    def merge(self, other: "InsertionStatistics") -> None:
+        """Accumulate another call's counters into this one."""
+        self.candidates_enumerated += other.candidates_enumerated
+        self.candidates_feasible += other.candidates_feasible
+        self.candidates_rejected_by_bounds += other.candidates_rejected_by_bounds
+
+
+def insertion_candidates(
+    vehicle: Vehicle,
+    request: Request,
+    oracle: DistanceOracle,
+    grid: Optional[GridIndex] = None,
+    statistics: Optional[InsertionStatistics] = None,
+) -> List[InsertionCandidate]:
+    """Return every feasible insertion of ``request`` into ``vehicle``.
+
+    Args:
+        vehicle: the candidate vehicle.
+        request: the request to insert.
+        oracle: shortest-path oracle (exact distances).
+        grid: optional grid index; when provided, candidates whose
+            lower-bound distances already violate the waiting-time or service
+            constraint are rejected without exact evaluation.
+        statistics: optional counter object updated in place.
+
+    Returns:
+        Feasible candidates; empty when the vehicle cannot serve the request.
+    """
+    stats = statistics if statistics is not None else InsertionStatistics()
+    if vehicle.has_request(request.request_id):
+        # The vehicle already serves this request (or a different request that
+        # reuses its identifier); re-inserting it would corrupt the constraint
+        # bookkeeping, so the vehicle simply offers nothing.
+        return []
+    direct = oracle.distance(request.start, request.destination)
+
+    pickup_stop = Stop(
+        vertex=request.start,
+        request_id=request.request_id,
+        kind=StopKind.PICKUP,
+        riders=request.riders,
+    )
+    dropoff_stop = Stop(
+        vertex=request.destination,
+        request_id=request.request_id,
+        kind=StopKind.DROPOFF,
+        riders=request.riders,
+    )
+
+    # The new request's waiting-time condition cannot bind at matching time:
+    # the planned pick-up *is* the one being computed.  An infinite remaining
+    # planned distance encodes that.
+    request_states: Dict[str, RequestState] = dict(vehicle.request_states())
+    request_states[request.request_id] = RequestState(
+        request=request,
+        onboard=False,
+        direct_distance=direct,
+        planned_pickup_remaining=math.inf,
+        travelled_since_pickup=0.0,
+    )
+
+    base_schedules: List[Tuple[Stop, ...]] = vehicle.kinetic_tree.schedules() or [()]
+    onboard_riders = vehicle.occupancy
+    origin = vehicle.location
+    origin_offset = vehicle.offset
+    results: List[InsertionCandidate] = []
+    seen: Dict[Tuple[Stop, ...], None] = {}
+
+    for base in base_schedules:
+        base_total = schedule_distance(origin, base, oracle.distance, origin_offset)
+        for candidate in enumerate_insertions(base, pickup_stop, dropoff_stop):
+            if candidate in seen:
+                continue
+            seen[candidate] = None
+            stats.candidates_enumerated += 1
+            if grid is not None and _rejected_by_lower_bounds(
+                origin, origin_offset, candidate, request_states, grid
+            ):
+                stats.candidates_rejected_by_bounds += 1
+                continue
+            metrics = evaluate_schedule(origin, candidate, oracle.distance, origin_offset)
+            feasibility = check_schedule(
+                origin=origin,
+                stops=candidate,
+                capacity=vehicle.capacity,
+                onboard_riders=onboard_riders,
+                request_states=request_states,
+                distance=oracle.distance,
+                origin_offset=origin_offset,
+                metrics=metrics,
+            )
+            if not feasibility:
+                continue
+            stats.candidates_feasible += 1
+            results.append(
+                InsertionCandidate(
+                    vehicle_id=vehicle.vehicle_id,
+                    schedule=candidate,
+                    base_schedule=tuple(base),
+                    pickup_distance=metrics.pickup_distance[request.request_id],
+                    added_distance=max(0.0, metrics.total_distance - base_total),
+                    total_distance=metrics.total_distance,
+                )
+            )
+    return results
+
+
+def feasible_schedules_for_commit(
+    vehicle: Vehicle,
+    request: Request,
+    oracle: DistanceOracle,
+    grid: Optional[GridIndex] = None,
+) -> List[Tuple[Stop, ...]]:
+    """Return every feasible new schedule, for installing into the kinetic tree.
+
+    This is what the dispatcher calls once a rider accepts an option: the
+    vehicle's kinetic tree must afterwards contain *all* valid schedules over
+    its (now extended) request set, not just the schedule of the chosen
+    option.
+    """
+    return [candidate.schedule for candidate in insertion_candidates(vehicle, request, oracle, grid)]
+
+
+def _rejected_by_lower_bounds(
+    origin: int,
+    origin_offset: float,
+    stops: Sequence[Stop],
+    request_states: Dict[str, RequestState],
+    grid: GridIndex,
+) -> bool:
+    """Return ``True`` when grid lower bounds alone prove the schedule infeasible.
+
+    The check mirrors the waiting-time and service conditions of
+    :func:`repro.vehicles.schedule.check_schedule` but replaces every exact
+    shortest-path distance with the (cheaper) grid lower bound.  Because the
+    bounds never exceed the true distances, a violation here implies a
+    violation of the exact check, so rejecting is safe.
+    """
+    lb_prefix: List[float] = []
+    total = origin_offset
+    previous = origin
+    for stop in stops:
+        total += grid.distance_lower_bound(previous, stop.vertex)
+        lb_prefix.append(total)
+        previous = stop.vertex
+
+    pickup_at: Dict[str, float] = {}
+    for index, stop in enumerate(stops):
+        if stop.is_pickup:
+            pickup_at[stop.request_id] = lb_prefix[index]
+        else:
+            state = request_states.get(stop.request_id)
+            if state is None:
+                continue
+            if state.onboard:
+                travelled_lb = lb_prefix[index]
+            elif stop.request_id in pickup_at:
+                travelled_lb = lb_prefix[index] - pickup_at[stop.request_id]
+            else:
+                continue
+            if travelled_lb > state.remaining_service_budget() + 1e-9:
+                return True
+    for request_id, bound in pickup_at.items():
+        state = request_states.get(request_id)
+        if state is None or state.onboard:
+            continue
+        if bound > state.waiting_budget() + 1e-9:
+            return True
+    return False

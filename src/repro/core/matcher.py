@@ -1,0 +1,233 @@
+"""Common matcher machinery.
+
+Every matching algorithm (naive kinetic tree, single-side search, dual-side
+search, and the baselines under :mod:`repro.baselines`) answers the same
+query: given the current fleet state and a request, return the qualified,
+non-dominated ``<vehicle, pick-up distance, price>`` options (Definition 4).
+:class:`Matcher` fixes that interface, owns the shared resources (fleet, grid
+index, distance oracle, price model, system configuration) and provides the
+per-vehicle verification step all algorithms share; subclasses only decide
+*which* vehicles to verify and in what order, and which admissible lower
+bounds justify skipping a vehicle.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.insertion import InsertionStatistics, insertion_candidates
+from repro.core.pricing import LinearPriceModel, PriceModel
+from repro.model.options import RideOption, Skyline, skyline_of
+from repro.model.request import Request
+from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.shortest_path import DistanceOracle
+from repro.vehicles.fleet import Fleet
+from repro.vehicles.vehicle import Vehicle
+
+__all__ = ["MatcherStatistics", "Matcher", "added_distance_lower_bound"]
+
+
+@dataclass
+class MatcherStatistics:
+    """Work counters a matcher accumulates across ``match`` calls.
+
+    The counters drive the index-ablation and matcher-comparison experiments
+    (E3 / E10 in ``DESIGN.md``) and the statistics panel of the demo website.
+    """
+
+    requests_answered: int = 0
+    vehicles_considered: int = 0
+    vehicles_evaluated: int = 0
+    vehicles_pruned: int = 0
+    cells_visited: int = 0
+    options_returned: int = 0
+    insertion: InsertionStatistics = field(default_factory=InsertionStatistics)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.requests_answered = 0
+        self.vehicles_considered = 0
+        self.vehicles_evaluated = 0
+        self.vehicles_pruned = 0
+        self.cells_visited = 0
+        self.options_returned = 0
+        self.insertion = InsertionStatistics()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the counters as a flat dictionary (for reports)."""
+        return {
+            "requests_answered": float(self.requests_answered),
+            "vehicles_considered": float(self.vehicles_considered),
+            "vehicles_evaluated": float(self.vehicles_evaluated),
+            "vehicles_pruned": float(self.vehicles_pruned),
+            "cells_visited": float(self.cells_visited),
+            "options_returned": float(self.options_returned),
+            "insertions_enumerated": float(self.insertion.candidates_enumerated),
+            "insertions_feasible": float(self.insertion.candidates_feasible),
+            "insertions_rejected_by_bounds": float(self.insertion.candidates_rejected_by_bounds),
+        }
+
+
+class Matcher(abc.ABC):
+    """Base class of every matching algorithm.
+
+    Args:
+        fleet: the vehicle index (which also carries the grid index and the
+            shortest-path oracle).
+        config: global system parameters; defaults to :class:`SystemConfig`.
+        price_model: price calculator; defaults to the one in ``config``.
+    """
+
+    #: human-readable algorithm name (used by the CLI, service and benchmarks)
+    name = "abstract"
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        config: Optional[SystemConfig] = None,
+        price_model: Optional[PriceModel] = None,
+    ) -> None:
+        self._fleet = fleet
+        self._grid: GridIndex = fleet.grid
+        self._oracle: DistanceOracle = fleet.oracle
+        self._config = config or SystemConfig()
+        self._price_model: PriceModel = price_model or self._config.price_model
+        self.statistics = MatcherStatistics()
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    @property
+    def fleet(self) -> Fleet:
+        """The fleet the matcher searches."""
+        return self._fleet
+
+    @property
+    def config(self) -> SystemConfig:
+        """The global system parameters in effect."""
+        return self._config
+
+    @property
+    def price_model(self) -> PriceModel:
+        """The price calculator used to price options."""
+        return self._price_model
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The shortest-path oracle shared with the fleet."""
+        return self._oracle
+
+    def match(self, request: Request) -> List[RideOption]:
+        """Return the non-dominated options answering ``request``.
+
+        The returned list is the skyline over every option produced by
+        :meth:`_collect_options`, sorted by ascending pick-up distance.
+        """
+        self.statistics.requests_answered += 1
+        options = self._collect_options(request)
+        result = skyline_of(options)
+        self.statistics.options_returned += len(result)
+        return result
+
+    @abc.abstractmethod
+    def _collect_options(self, request: Request) -> List[RideOption]:
+        """Produce candidate options (subclasses decide which vehicles to verify)."""
+
+    # ------------------------------------------------------------------
+    # shared verification step
+    # ------------------------------------------------------------------
+    def _verify_vehicle(
+        self, vehicle: Vehicle, request: Request, use_bound_rejection: bool = True
+    ) -> List[RideOption]:
+        """Fully evaluate one vehicle and return its non-dominated options.
+
+        ``use_bound_rejection`` controls whether the insertion step may use
+        grid lower bounds to skip exact evaluation of clearly infeasible
+        candidate schedules (the naive matcher turns this off to reproduce the
+        plain kinetic-tree algorithm).
+        """
+        self.statistics.vehicles_evaluated += 1
+        grid = self._grid if use_bound_rejection else None
+        candidates = insertion_candidates(
+            vehicle, request, self._oracle, grid=grid, statistics=self.statistics.insertion
+        )
+        direct = self._oracle.distance(request.start, request.destination)
+        max_pickup = self._config.max_pickup_distance
+        options: List[RideOption] = []
+        for candidate in candidates:
+            if max_pickup is not None and candidate.pickup_distance > max_pickup + 1e-9:
+                continue
+            price = self._price_model.price(request.riders, candidate.added_distance, direct)
+            options.append(
+                RideOption(
+                    vehicle_id=vehicle.vehicle_id,
+                    pickup_distance=candidate.pickup_distance,
+                    price=price,
+                    request_id=request.request_id,
+                    schedule=candidate.schedule,
+                    added_distance=candidate.added_distance,
+                )
+            )
+        # Each vehicle offers only its own non-dominated pairs (Section 2.5).
+        return skyline_of(options)
+
+    # ------------------------------------------------------------------
+    # admissible lower bounds shared by the grid-based searches
+    # ------------------------------------------------------------------
+    def _pickup_lower_bound(self, vehicle: Vehicle, request: Request) -> float:
+        """Admissible lower bound on the pick-up distance any option of ``vehicle`` can have."""
+        return self._grid.distance_lower_bound(vehicle.location, request.start) + vehicle.offset
+
+    def _price_lower_bound(self, vehicle: Vehicle, request: Request, direct: float) -> float:
+        """Admissible lower bound on the price any option of ``vehicle`` can have.
+
+        For an empty vehicle the added distance is exactly
+        ``dist(c.l, s) + dist(s, d)``; for a non-empty vehicle the single-side
+        bound only uses the start-side detour.  The dual-side matcher
+        overrides this with the destination-side bound as well.
+        """
+        if vehicle.is_empty:
+            pickup_lb = self._pickup_lower_bound(vehicle, request)
+            return self._price_model.price(request.riders, pickup_lb + direct, direct)
+        added_lb = added_distance_lower_bound(vehicle, request.start, self._grid, self._oracle)
+        return self._price_model.price(request.riders, added_lb, direct)
+
+
+def added_distance_lower_bound(
+    vehicle: Vehicle, vertex: int, grid: GridIndex, oracle: DistanceOracle
+) -> float:
+    """Admissible lower bound on the extra distance needed to visit ``vertex``.
+
+    For every branch of the vehicle's kinetic tree and every insertion
+    position, the added distance of detouring through ``vertex`` is bounded
+    from below using grid lower bounds for the new legs and exact (cached)
+    distances for the replaced leg; the minimum over all positions and
+    branches is an admissible bound for any schedule that additionally visits
+    ``vertex`` -- including schedules that insert several new stops, because
+    dropping the other new stops never increases the added distance.
+    """
+    schedules = vehicle.kinetic_tree.schedules()
+    origin = vehicle.location
+    if not schedules:
+        return grid.distance_lower_bound(origin, vertex) + vehicle.offset
+    best = math.inf
+    for schedule in schedules:
+        previous = origin
+        for stop in schedule:
+            replaced = oracle.distance(previous, stop.vertex)
+            detour = (
+                grid.distance_lower_bound(previous, vertex)
+                + grid.distance_lower_bound(vertex, stop.vertex)
+                - replaced
+            )
+            best = min(best, max(0.0, detour))
+            previous = stop.vertex
+        # appending after the last stop
+        best = min(best, grid.distance_lower_bound(previous, vertex))
+        if best <= 0.0:
+            return 0.0
+    return best

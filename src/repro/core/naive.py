@@ -1,0 +1,40 @@
+"""The naive kinetic-tree matcher (the baseline of Section 3.3).
+
+"A naive method can be extended directly from the kinetic tree algorithm
+[7]: we evaluate every vehicle to find all possible pairs of pick-up time and
+price that cannot dominate each other when inserting the request into its
+kinetic tree."
+
+The naive matcher therefore
+
+* verifies **every** vehicle of the fleet (no grid pruning), and
+* computes every shortest-path distance exactly during verification (no
+  lower-bound short-circuiting), mirroring the remark that the kinetic-tree
+  algorithm "calculates all the distances before verification".
+
+It is the correctness reference the optimized matchers are property-tested
+against, and the baseline of experiment E3.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.matcher import Matcher
+from repro.model.options import RideOption
+from repro.model.request import Request
+
+__all__ = ["NaiveKineticTreeMatcher"]
+
+
+class NaiveKineticTreeMatcher(Matcher):
+    """Evaluate every vehicle, with no pruning and no bound-based rejection."""
+
+    name = "naive"
+
+    def _collect_options(self, request: Request) -> List[RideOption]:
+        options: List[RideOption] = []
+        for vehicle in self._fleet.vehicles():
+            self.statistics.vehicles_considered += 1
+            options.extend(self._verify_vehicle(vehicle, request, use_bound_rejection=False))
+        return options

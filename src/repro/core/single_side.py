@@ -1,0 +1,112 @@
+"""The single-side search algorithm (Section 3.3).
+
+For a request ``R = <s, d, n, w, epsilon>`` the search starts from the grid
+cell containing ``s`` and visits the remaining cells in ascending order of
+their lower-bound distance to that cell (the pre-sorted *grid cell list* of
+Fig. 1(b)).  Within each cell, the empty-vehicle list and the non-empty
+vehicle list are processed separately:
+
+* every vehicle is first screened with **admissible lower bounds** on the
+  pick-up distance (grid bound on ``dist(c.l, s)``) and on the price (for an
+  empty vehicle the exact form of its added distance, for a non-empty vehicle
+  a start-side detour bound); a vehicle whose optimistic bounds are already
+  dominated by a confirmed option -- or whose pick-up bound exceeds the
+  configured maximum pick-up distance -- is pruned without verification;
+* surviving vehicles are verified by inserting the request into their kinetic
+  tree (with lower-bound short-circuiting inside the insertion, Section 3.3's
+  second optimisation).
+
+The cell expansion itself terminates early when the cell-level lower bound
+proves that **no** vehicle registered in the remaining cells can contribute a
+non-dominated option.  All pruning rules are admissible, so the result set is
+identical to the naive matcher's (verified by property-based tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Set
+
+from repro.core.matcher import Matcher
+from repro.model.options import RideOption, Skyline
+from repro.model.request import Request
+from repro.vehicles.vehicle import Vehicle
+
+__all__ = ["SingleSideSearchMatcher"]
+
+
+class SingleSideSearchMatcher(Matcher):
+    """Grid expansion from the request's start cell with admissible pruning."""
+
+    name = "single_side"
+
+    def _collect_options(self, request: Request) -> List[RideOption]:
+        direct = self._oracle.distance(request.start, request.destination)
+        start_cell = self._grid.cell_of_vertex(request.start).cell_id
+        start_min = self._grid.vertex_min(request.start)
+        max_pickup = self._config.max_pickup_distance
+        max_pickup_value = math.inf if max_pickup is None else max_pickup
+        price_floor = self._price_model.price(request.riders, 0.0, direct)
+
+        skyline = Skyline()
+        seen: Set[str] = set()
+        skip_empty_lists = False
+
+        for cell_bound, cell in self._grid.expand_from(start_cell):
+            self.statistics.cells_visited += 1
+            # Lower bound on dist(x, s) for ANY vertex x in this cell (and, by
+            # the ascending expansion order, in every later cell).
+            cell_pickup_lb = 0.0 if cell.cell_id == start_cell else cell_bound + start_min
+
+            if cell_pickup_lb > max_pickup_value:
+                # No vehicle whose current location lies this far out can offer
+                # an option within the pick-up cap; vehicles registered here
+                # with a *closer* current location were already encountered in
+                # their own (closer) cell, so the whole expansion can stop.
+                break
+            if skyline.would_be_dominated(cell_pickup_lb, price_floor):
+                # Even a hypothetical zero-detour vehicle in this (or any
+                # later) cell would be dominated: stop the expansion.
+                break
+            if not skip_empty_lists and skyline.would_be_dominated(
+                cell_pickup_lb,
+                self._price_model.price(request.riders, cell_pickup_lb + direct, direct),
+            ):
+                # Empty vehicles this far out (or further) are always dominated
+                # because their added distance is at least their pick-up
+                # distance plus the direct trip.
+                skip_empty_lists = True
+
+            if not skip_empty_lists:
+                for vehicle in self._fleet.empty_vehicles_in_cell(cell.cell_id):
+                    self._consider(vehicle, request, direct, max_pickup_value, seen, skyline)
+            for vehicle in self._fleet.nonempty_vehicles_in_cell(cell.cell_id):
+                self._consider(vehicle, request, direct, max_pickup_value, seen, skyline)
+
+        return skyline.options()
+
+    # ------------------------------------------------------------------
+    def _consider(
+        self,
+        vehicle: Vehicle,
+        request: Request,
+        direct: float,
+        max_pickup: float,
+        seen: Set[str],
+        skyline: Skyline,
+    ) -> None:
+        """Screen one vehicle with lower bounds; verify it if it survives."""
+        if vehicle.vehicle_id in seen:
+            return
+        seen.add(vehicle.vehicle_id)
+        self.statistics.vehicles_considered += 1
+
+        pickup_lb = self._pickup_lower_bound(vehicle, request)
+        if pickup_lb > max_pickup + 1e-9:
+            self.statistics.vehicles_pruned += 1
+            return
+        price_lb = self._price_lower_bound(vehicle, request, direct)
+        if skyline.would_be_dominated(pickup_lb, price_lb):
+            self.statistics.vehicles_pruned += 1
+            return
+        skyline.extend(self._verify_vehicle(vehicle, request))

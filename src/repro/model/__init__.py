@@ -1,0 +1,21 @@
+"""Domain model shared by every PTRider layer.
+
+This subpackage holds the value objects the paper defines in Section 2
+(requests, trip stops, ride options, dominance / skyline) and has **no**
+dependency on the road network, the vehicles or the matchers, so every other
+subpackage can import it freely.
+"""
+
+from repro.model.options import RideOption, Skyline, dominates, skyline_of
+from repro.model.request import Request
+from repro.model.stops import Stop, StopKind
+
+__all__ = [
+    "Request",
+    "RideOption",
+    "Skyline",
+    "Stop",
+    "StopKind",
+    "dominates",
+    "skyline_of",
+]

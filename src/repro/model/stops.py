@@ -1,0 +1,75 @@
+"""Trip-schedule stops.
+
+A vehicle trip schedule (Definition 2 of the paper) is a sequence of
+locations; every location after the vehicle's current position is either the
+start (pick-up) or the destination (drop-off) of an unfinished request.
+:class:`Stop` captures one such location together with the request it belongs
+to, so feasibility checks can track occupancy and per-request constraints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["StopKind", "Stop"]
+
+
+class StopKind(enum.Enum):
+    """Whether a stop picks riders up or drops them off."""
+
+    PICKUP = "pickup"
+    DROPOFF = "dropoff"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Stop:
+    """One stop of a vehicle trip schedule.
+
+    Attributes:
+        vertex: the road-network vertex of the stop.
+        request_id: the request served at the stop.
+        kind: pick-up or drop-off.
+        riders: how many riders board (pick-up) or alight (drop-off).
+    """
+
+    vertex: int
+    request_id: str
+    kind: StopKind
+    riders: int = 1
+
+    def __post_init__(self) -> None:
+        if self.riders < 1:
+            raise ValueError(f"stop for {self.request_id} must move at least one rider")
+
+    @property
+    def is_pickup(self) -> bool:
+        """``True`` for pick-up stops."""
+        return self.kind is StopKind.PICKUP
+
+    @property
+    def is_dropoff(self) -> bool:
+        """``True`` for drop-off stops."""
+        return self.kind is StopKind.DROPOFF
+
+    @property
+    def occupancy_delta(self) -> int:
+        """Signed change in vehicle occupancy caused by this stop."""
+        return self.riders if self.is_pickup else -self.riders
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        sign = "+" if self.is_pickup else "-"
+        return f"{self.kind.value}({self.request_id}@{self.vertex}{sign}{self.riders})"
+
+
+def pickup(vertex: int, request_id: str, riders: int = 1) -> Stop:
+    """Convenience constructor for a pick-up stop."""
+    return Stop(vertex=vertex, request_id=request_id, kind=StopKind.PICKUP, riders=riders)
+
+
+def dropoff(vertex: int, request_id: str, riders: int = 1) -> Stop:
+    """Convenience constructor for a drop-off stop."""
+    return Stop(vertex=vertex, request_id=request_id, kind=StopKind.DROPOFF, riders=riders)

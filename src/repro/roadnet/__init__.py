@@ -1,0 +1,61 @@
+"""Road-network substrate for PTRider.
+
+The subpackage provides everything PTRider needs to know about the static
+road network:
+
+* :mod:`repro.roadnet.graph` -- the weighted road graph itself;
+* :mod:`repro.roadnet.geometry` -- planar embedding helpers;
+* :mod:`repro.roadnet.shortest_path` -- Dijkstra variants and a memoising
+  distance oracle;
+* :mod:`repro.roadnet.grid_index` -- the grid partition index of Section 3.2.1
+  of the paper (border vertices, ``v.min``, cell-pair lower bounds, sorted
+  grid lists, per-cell vehicle lists);
+* :mod:`repro.roadnet.generators` -- synthetic network builders, including the
+  17-vertex example network of Figure 1;
+* :mod:`repro.roadnet.io` -- persistence of networks to edge lists and JSON.
+"""
+
+from repro.roadnet.geometry import BoundingBox, Point, euclidean_distance, haversine_distance
+from repro.roadnet.graph import Edge, RoadNetwork
+from repro.roadnet.grid_index import GridCell, GridIndex
+from repro.roadnet.shortest_path import (
+    DistanceOracle,
+    PathResult,
+    astar_path,
+    bidirectional_dijkstra,
+    bounded_dijkstra,
+    dijkstra_all,
+    multi_source_dijkstra,
+    shortest_path,
+    shortest_path_distance,
+)
+from repro.roadnet.generators import (
+    figure1_network,
+    grid_network,
+    random_geometric_network,
+    ring_radial_network,
+)
+
+__all__ = [
+    "BoundingBox",
+    "DistanceOracle",
+    "Edge",
+    "astar_path",
+    "GridCell",
+    "GridIndex",
+    "PathResult",
+    "Point",
+    "RoadNetwork",
+    "bidirectional_dijkstra",
+    "bounded_dijkstra",
+    "dijkstra_all",
+    "euclidean_distance",
+    "figure1_network",
+    "grid_network",
+    "haversine_distance",
+    "multi_source_dijkstra",
+    "random_geometric_network",
+    "ring_radial_network",
+    "shortest_path",
+    "shortest_path_distance",
+]

@@ -1,0 +1,432 @@
+"""The grid index over the road network (Section 3.2.1 of the paper).
+
+PTRider partitions the road network with a uniform grid.  Following the
+paper, every grid cell maintains
+
+1. a *border vertex* list -- vertices incident to an edge that leaves the
+   cell;
+2. a *vertex list* -- every vertex located in the cell, annotated with its
+   shortest-path distance to each border vertex of the cell and with
+   ``v.min`` (the minimum of those distances);
+3. a *grid cell list* -- the other cells sorted in ascending order of the
+   lower-bound distance from them to this cell;
+4. an *empty vehicle list* -- vehicles currently in the cell with no assigned
+   requests;
+5. a *non-empty vehicle list* -- vehicles whose kinetic tree contains an edge
+   that intersects the cell.
+
+In addition, a matrix of lower-bound distances between every pair of grid
+cells is maintained (realised lazily here, one multi-source Dijkstra per
+row, so small networks stay cheap and large ones only pay for the rows the
+matchers actually touch).
+
+The crucial property the matchers rely on is **admissibility**: for any two
+vertices ``u`` in cell ``g_i`` and ``v`` in cell ``g_j``,
+
+    dist(u, v)  >=  u.min + lb(g_i, g_j) + v.min        (g_i != g_j)
+
+because any path between them must cross a border vertex of ``g_i`` and a
+border vertex of ``g_j``.  The property is verified by the property-based
+tests in ``tests/property/test_grid_bounds.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GridIndexError, InvalidNetworkError, VertexNotFoundError
+from repro.roadnet.geometry import BoundingBox
+from repro.roadnet.graph import RoadNetwork, VertexId
+from repro.roadnet.shortest_path import INFINITY, dijkstra_all, multi_source_dijkstra
+
+__all__ = ["CellId", "GridCell", "GridIndex"]
+
+#: Grid cells are addressed by their (row, column) pair.
+CellId = Tuple[int, int]
+
+
+@dataclass
+class GridCell:
+    """One cell of the grid partition, with the five lists of Fig. 1(b)."""
+
+    cell_id: CellId
+    box: BoundingBox
+    vertices: List[VertexId] = field(default_factory=list)
+    border_vertices: List[VertexId] = field(default_factory=list)
+    #: vehicles with an empty request set currently located in this cell
+    empty_vehicles: Set[str] = field(default_factory=set)
+    #: vehicles with a non-empty request set whose schedule intersects this cell
+    nonempty_vehicles: Set[str] = field(default_factory=set)
+
+    @property
+    def row(self) -> int:
+        """Row of the cell in the grid."""
+        return self.cell_id[0]
+
+    @property
+    def column(self) -> int:
+        """Column of the cell in the grid."""
+        return self.cell_id[1]
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when no road-network vertex lies in the cell."""
+        return not self.vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"GridCell(id={self.cell_id}, vertices={len(self.vertices)}, "
+            f"borders={len(self.border_vertices)}, empty_vehicles={len(self.empty_vehicles)}, "
+            f"nonempty_vehicles={len(self.nonempty_vehicles)})"
+        )
+
+
+class GridIndex:
+    """Uniform grid partition of a road network with lower-bound distances.
+
+    Args:
+        network: the road network to index.  Every vertex must carry a planar
+            coordinate.
+        rows: number of grid rows.
+        columns: number of grid columns.
+        precompute: when ``True`` the full cell-pair lower-bound matrix and
+            every per-vertex border-distance annotation are computed eagerly;
+            when ``False`` (the default) rows of the matrix are computed on
+            first use, which is what a city-scale deployment would do.
+
+    Raises:
+        InvalidNetworkError: if the network has no coordinates.
+        GridIndexError: if ``rows`` or ``columns`` is not positive.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        rows: int,
+        columns: int,
+        precompute: bool = False,
+    ) -> None:
+        if rows <= 0 or columns <= 0:
+            raise GridIndexError(f"grid dimensions must be positive, got {rows}x{columns}")
+        network.validate(require_coordinates=True)
+        self._network = network
+        self._rows = rows
+        self._columns = columns
+        self._box = network.bounding_box()
+        # Guard against degenerate (zero-width) boxes: give them a tiny extent
+        # so every vertex still maps to a valid cell.
+        width = self._box.width or 1.0
+        height = self._box.height or 1.0
+        self._cell_width = width / columns
+        self._cell_height = height / rows
+
+        self._cells: Dict[CellId, GridCell] = {}
+        self._vertex_cell: Dict[VertexId, CellId] = {}
+        self._vertex_min: Dict[VertexId, float] = {}
+        self._border_distances: Dict[VertexId, Dict[VertexId, float]] = {}
+        self._lower_bound_rows: Dict[CellId, Dict[CellId, float]] = {}
+        self._sorted_cell_lists: Dict[CellId, List[Tuple[float, CellId]]] = {}
+
+        self._build_cells()
+        self._identify_border_vertices()
+        self._compute_vertex_minimums()
+        if precompute:
+            for cell_id in self._cells:
+                self._lower_bound_row(cell_id)
+                self.cells_in_lower_bound_order(cell_id)
+            self._compute_detailed_border_distances()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_cells(self) -> None:
+        for row in range(self._rows):
+            for column in range(self._columns):
+                min_x = self._box.min_x + column * self._cell_width
+                min_y = self._box.min_y + row * self._cell_height
+                box = BoundingBox(
+                    min_x,
+                    min_y,
+                    min_x + self._cell_width,
+                    min_y + self._cell_height,
+                )
+                cell_id = (row, column)
+                self._cells[cell_id] = GridCell(cell_id=cell_id, box=box)
+        for vertex in self._network.vertices():
+            cell_id = self._locate(self._network.coordinate(vertex).as_tuple())
+            self._vertex_cell[vertex] = cell_id
+            self._cells[cell_id].vertices.append(vertex)
+
+    def _identify_border_vertices(self) -> None:
+        for edge in self._network.edges():
+            cell_u = self._vertex_cell[edge.u]
+            cell_v = self._vertex_cell[edge.v]
+            if cell_u != cell_v:
+                # The edge belongs to more than one grid cell, so both of its
+                # endpoints are border vertices (Section 3.2.1).
+                self._add_border(edge.u, cell_u)
+                self._add_border(edge.v, cell_v)
+
+    def _add_border(self, vertex: VertexId, cell_id: CellId) -> None:
+        cell = self._cells[cell_id]
+        if vertex not in cell.border_vertices:
+            cell.border_vertices.append(vertex)
+
+    def _compute_vertex_minimums(self) -> None:
+        """Compute ``v.min`` for every vertex via one multi-source Dijkstra per cell."""
+        for cell in self._cells.values():
+            if not cell.vertices:
+                continue
+            if not cell.border_vertices:
+                # A cell with no border vertex is either the only populated
+                # cell or holds an isolated component; its vertices can never
+                # be pruned through the cell bound, so v.min is zero.
+                for vertex in cell.vertices:
+                    self._vertex_min[vertex] = 0.0
+                continue
+            distances = multi_source_dijkstra(self._network, cell.border_vertices)
+            for vertex in cell.vertices:
+                self._vertex_min[vertex] = distances.get(vertex, 0.0)
+
+    def _compute_detailed_border_distances(self) -> None:
+        """Annotate every vertex with its distance to each border vertex of its cell."""
+        for cell in self._cells.values():
+            if not cell.vertices or not cell.border_vertices:
+                continue
+            for border in cell.border_vertices:
+                tree = dijkstra_all(self._network, border)
+                for vertex in cell.vertices:
+                    if vertex in tree:
+                        self._border_distances.setdefault(vertex, {})[border] = tree[vertex]
+
+    # ------------------------------------------------------------------
+    # basic geometry / lookup
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        """The indexed road network."""
+        return self._network
+
+    @property
+    def rows(self) -> int:
+        """Number of grid rows."""
+        return self._rows
+
+    @property
+    def columns(self) -> int:
+        """Number of grid columns."""
+        return self._columns
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of grid cells (``rows * columns``)."""
+        return self._rows * self._columns
+
+    def _locate(self, point: Tuple[float, float]) -> CellId:
+        column = int((point[0] - self._box.min_x) / self._cell_width)
+        row = int((point[1] - self._box.min_y) / self._cell_height)
+        column = min(max(column, 0), self._columns - 1)
+        row = min(max(row, 0), self._rows - 1)
+        return (row, column)
+
+    def cell_of_point(self, point: Tuple[float, float]) -> GridCell:
+        """Return the grid cell containing an arbitrary planar point."""
+        return self._cells[self._locate(point)]
+
+    def cell_of_vertex(self, vertex: VertexId) -> GridCell:
+        """Return the grid cell containing ``vertex``.
+
+        Raises:
+            VertexNotFoundError: if the vertex is not indexed.
+        """
+        try:
+            return self._cells[self._vertex_cell[vertex]]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def cell(self, cell_id: CellId) -> GridCell:
+        """Return the cell with identifier ``cell_id``.
+
+        Raises:
+            GridIndexError: if the identifier is outside the grid.
+        """
+        try:
+            return self._cells[cell_id]
+        except KeyError:
+            raise GridIndexError(f"cell {cell_id} is outside the {self._rows}x{self._columns} grid") from None
+
+    def cells(self) -> Iterator[GridCell]:
+        """Iterate over every grid cell (row-major order)."""
+        return iter(self._cells.values())
+
+    def populated_cells(self) -> List[GridCell]:
+        """Return only the cells that contain at least one vertex."""
+        return [cell for cell in self._cells.values() if cell.vertices]
+
+    def vertex_min(self, vertex: VertexId) -> float:
+        """Return ``v.min``: the distance from ``vertex`` to its cell's nearest border vertex."""
+        try:
+            return self._vertex_min[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def border_distances(self, vertex: VertexId) -> Dict[VertexId, float]:
+        """Return the per-border-vertex distances stored for ``vertex``.
+
+        Only populated when the index was built with ``precompute=True``
+        (Fig. 1(b) keeps the full annotation; the lazily built index keeps
+        only ``v.min`` which is all the pruning bounds need).
+        """
+        return dict(self._border_distances.get(vertex, {}))
+
+    # ------------------------------------------------------------------
+    # lower bounds
+    # ------------------------------------------------------------------
+    def _lower_bound_row(self, cell_id: CellId) -> Dict[CellId, float]:
+        """Return (computing if necessary) lower bounds from ``cell_id`` to every cell."""
+        row = self._lower_bound_rows.get(cell_id)
+        if row is not None:
+            return row
+        cell = self._cells[cell_id]
+        row = {}
+        if cell.border_vertices:
+            distances = multi_source_dijkstra(self._network, cell.border_vertices)
+            for other_id, other in self._cells.items():
+                if other_id == cell_id:
+                    row[other_id] = 0.0
+                    continue
+                best = INFINITY
+                for border in other.border_vertices:
+                    candidate = distances.get(border, INFINITY)
+                    if candidate < best:
+                        best = candidate
+                row[other_id] = best
+        else:
+            # No border vertices: the cell is not connected to any other cell
+            # through the road network (or it is the only populated cell).
+            for other_id in self._cells:
+                row[other_id] = 0.0 if other_id == cell_id else INFINITY
+        self._lower_bound_rows[cell_id] = row
+        return row
+
+    def lower_bound_between_cells(self, cell_a: CellId, cell_b: CellId) -> float:
+        """Return the lower-bound distance between two cells.
+
+        The bound is the minimum shortest-path distance between any border
+        vertex of ``cell_a`` and any border vertex of ``cell_b`` (0 for the
+        same cell, ``inf`` when the cells are not connected).
+        """
+        if cell_a == cell_b:
+            return 0.0
+        if cell_a not in self._cells or cell_b not in self._cells:
+            missing = cell_a if cell_a not in self._cells else cell_b
+            raise GridIndexError(f"cell {missing} is outside the {self._rows}x{self._columns} grid")
+        return self._lower_bound_row(cell_a).get(cell_b, INFINITY)
+
+    def distance_lower_bound(self, u: VertexId, v: VertexId) -> float:
+        """Return an admissible lower bound on ``dist(u, v)``.
+
+        The bound is ``0`` when both vertices share a cell, otherwise
+        ``u.min + lb(cell(u), cell(v)) + v.min``.
+        """
+        if u == v:
+            return 0.0
+        cell_u = self._vertex_cell.get(u)
+        cell_v = self._vertex_cell.get(v)
+        if cell_u is None:
+            raise VertexNotFoundError(u)
+        if cell_v is None:
+            raise VertexNotFoundError(v)
+        if cell_u == cell_v:
+            return 0.0
+        cell_bound = self.lower_bound_between_cells(cell_u, cell_v)
+        if math.isinf(cell_bound):
+            return cell_bound
+        return self._vertex_min[u] + cell_bound + self._vertex_min[v]
+
+    def cells_in_lower_bound_order(self, cell_id: CellId) -> List[Tuple[float, CellId]]:
+        """Return every cell sorted by ascending lower-bound distance from ``cell_id``.
+
+        This is the *grid cell list* of Fig. 1(b); the single-side and
+        dual-side searches expand cells in exactly this order.
+        """
+        cached = self._sorted_cell_lists.get(cell_id)
+        if cached is not None:
+            return cached
+        row = self._lower_bound_row(cell_id)
+        ordered = sorted(
+            ((bound, other_id) for other_id, bound in row.items()),
+            key=lambda item: (item[0], item[1]),
+        )
+        self._sorted_cell_lists[cell_id] = ordered
+        return ordered
+
+    def expand_from(self, cell_id: CellId) -> Iterator[Tuple[float, GridCell]]:
+        """Yield ``(lower_bound, cell)`` pairs in ascending lower-bound order.
+
+        Unreachable cells (infinite lower bound) are skipped.
+        """
+        for bound, other_id in self.cells_in_lower_bound_order(cell_id):
+            if math.isinf(bound):
+                continue
+            yield bound, self._cells[other_id]
+
+    # ------------------------------------------------------------------
+    # vehicle bookkeeping (used by repro.vehicles.fleet)
+    # ------------------------------------------------------------------
+    def register_empty_vehicle(self, vehicle_id: str, vertex: VertexId) -> CellId:
+        """Place an empty vehicle in the cell of ``vertex`` and return that cell id."""
+        cell = self.cell_of_vertex(vertex)
+        cell.empty_vehicles.add(vehicle_id)
+        return cell.cell_id
+
+    def unregister_empty_vehicle(self, vehicle_id: str, cell_id: CellId) -> None:
+        """Remove an empty vehicle from ``cell_id`` (no-op when absent)."""
+        self.cell(cell_id).empty_vehicles.discard(vehicle_id)
+
+    def register_nonempty_vehicle(self, vehicle_id: str, cell_ids: Iterable[CellId]) -> None:
+        """Add a non-empty vehicle to every cell its schedule intersects."""
+        for cell_id in cell_ids:
+            self.cell(cell_id).nonempty_vehicles.add(vehicle_id)
+
+    def unregister_nonempty_vehicle(self, vehicle_id: str, cell_ids: Iterable[CellId]) -> None:
+        """Remove a non-empty vehicle from the given cells (no-op when absent)."""
+        for cell_id in cell_ids:
+            self.cell(cell_id).nonempty_vehicles.discard(vehicle_id)
+
+    def cells_on_path(self, path: Sequence[VertexId]) -> Set[CellId]:
+        """Return the ids of every cell containing a vertex of ``path``.
+
+        The paper registers a kinetic-tree edge with every cell its shortest
+        path intersects; callers therefore pass the expanded vertex sequence
+        of the path, not just its endpoints.
+        """
+        cells: Set[CellId] = set()
+        for vertex in path:
+            cell_id = self._vertex_cell.get(vertex)
+            if cell_id is None:
+                raise VertexNotFoundError(vertex)
+            cells.add(cell_id)
+        return cells
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Return basic statistics about the index (used by the admin view)."""
+        populated = self.populated_cells()
+        border_total = sum(len(cell.border_vertices) for cell in populated)
+        return {
+            "rows": float(self._rows),
+            "columns": float(self._columns),
+            "cells": float(self.cell_count),
+            "populated_cells": float(len(populated)),
+            "border_vertices": float(border_total),
+            "vertices": float(self._network.vertex_count),
+            "edges": float(self._network.edge_count),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"GridIndex(rows={self._rows}, columns={self._columns}, vertices={self._network.vertex_count})"

@@ -1,0 +1,122 @@
+"""Persistence of road networks.
+
+Two formats are supported:
+
+* a plain-text *edge list* (one ``u v weight`` line per edge, with an optional
+  leading block of ``v x y`` coordinate lines introduced by a ``#coords``
+  header), convenient for interoperability with graph tools;
+* a JSON document containing vertices, coordinates and edges, convenient for
+  archiving experiment inputs next to their outputs.
+
+Both round-trip exactly (weights are stored as ``repr`` of floats).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import InvalidNetworkError
+from repro.roadnet.graph import RoadNetwork
+
+__all__ = [
+    "save_edge_list",
+    "load_edge_list",
+    "save_json",
+    "load_json",
+    "network_to_dict",
+    "network_from_dict",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_edge_list(network: RoadNetwork, path: PathLike) -> None:
+    """Write ``network`` as an edge list with an optional coordinate block."""
+    lines: List[str] = []
+    if network.has_coordinates():
+        lines.append("#coords")
+        for vertex in network.vertices():
+            point = network.coordinate(vertex)
+            lines.append(f"{vertex} {point.x!r} {point.y!r}")
+        lines.append("#edges")
+    for edge in network.edges():
+        lines.append(f"{edge.u} {edge.v} {edge.weight!r}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_edge_list(path: PathLike) -> RoadNetwork:
+    """Read a network previously written by :func:`save_edge_list`.
+
+    Raises:
+        InvalidNetworkError: on malformed lines.
+    """
+    network = RoadNetwork()
+    mode = "edges"
+    for line_number, raw_line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line == "#coords":
+            mode = "coords"
+            continue
+        if line == "#edges":
+            mode = "edges"
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise InvalidNetworkError(f"{path}:{line_number}: expected 3 fields, got {len(parts)}")
+        if mode == "coords":
+            vertex, x, y = int(parts[0]), float(parts[1]), float(parts[2])
+            network.add_vertex(vertex, x=x, y=y)
+        else:
+            u, v, weight = int(parts[0]), int(parts[1]), float(parts[2])
+            if u not in network:
+                network.add_vertex(u)
+            if v not in network:
+                network.add_vertex(v)
+            network.add_edge(u, v, weight)
+    return network
+
+
+def network_to_dict(network: RoadNetwork) -> Dict[str, object]:
+    """Return a JSON-serialisable representation of ``network``."""
+    coordinates: Dict[str, Tuple[float, float]] = {}
+    for vertex in network.vertices():
+        try:
+            point = network.coordinate(vertex)
+        except InvalidNetworkError:
+            continue
+        coordinates[str(vertex)] = (point.x, point.y)
+    return {
+        "vertices": network.vertices(),
+        "coordinates": coordinates,
+        "edges": [[edge.u, edge.v, edge.weight] for edge in network.edges()],
+    }
+
+
+def network_from_dict(payload: Dict[str, object]) -> RoadNetwork:
+    """Rebuild a network from the output of :func:`network_to_dict`."""
+    network = RoadNetwork()
+    for vertex in payload.get("vertices", []):
+        network.add_vertex(int(vertex))
+    for vertex, (x, y) in dict(payload.get("coordinates", {})).items():
+        network.add_vertex(int(vertex), x=float(x), y=float(y))
+    for u, v, weight in payload.get("edges", []):
+        if int(u) not in network:
+            network.add_vertex(int(u))
+        if int(v) not in network:
+            network.add_vertex(int(v))
+        network.add_edge(int(u), int(v), float(weight))
+    return network
+
+
+def save_json(network: RoadNetwork, path: PathLike) -> None:
+    """Write ``network`` as a JSON document."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2), encoding="utf-8")
+
+
+def load_json(path: PathLike) -> RoadNetwork:
+    """Read a network previously written by :func:`save_json`."""
+    return network_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,455 @@
+"""Shortest-path machinery for PTRider.
+
+Every price and every pick-up time in the system is derived from shortest-path
+distances on the road network (Section 2.1 of the paper).  The matchers call
+into this module constantly, so it offers several access patterns:
+
+* :func:`shortest_path_distance` / :func:`shortest_path` -- point-to-point
+  Dijkstra with early termination;
+* :func:`bidirectional_dijkstra` -- meet-in-the-middle search used for long
+  queries;
+* :func:`bounded_dijkstra` -- expansion limited to a radius, used by the grid
+  index and the single-side search frontier;
+* :func:`dijkstra_all` / :func:`multi_source_dijkstra` -- full and
+  multi-source expansions used when building the grid index;
+* :class:`DistanceOracle` -- a memoising facade that caches single-source
+  trees, which is what the matchers and the simulator hold on to.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DisconnectedError, VertexNotFoundError
+from repro.roadnet.graph import RoadNetwork, VertexId
+
+__all__ = [
+    "PathResult",
+    "shortest_path_distance",
+    "shortest_path",
+    "astar_path",
+    "bidirectional_dijkstra",
+    "bounded_dijkstra",
+    "dijkstra_all",
+    "multi_source_dijkstra",
+    "reconstruct_path",
+    "path_length",
+    "DistanceOracle",
+]
+
+INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """The result of a point-to-point shortest-path query."""
+
+    source: VertexId
+    target: VertexId
+    distance: float
+    path: Tuple[VertexId, ...]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of edges on the path."""
+        return max(0, len(self.path) - 1)
+
+
+def _require_vertices(network: RoadNetwork, vertices: Iterable[VertexId]) -> None:
+    for vertex in vertices:
+        if vertex not in network:
+            raise VertexNotFoundError(vertex)
+
+
+def shortest_path_distance(network: RoadNetwork, source: VertexId, target: VertexId) -> float:
+    """Return ``dist(source, target)`` on the road network.
+
+    Runs a Dijkstra search from ``source`` that stops as soon as ``target``
+    is settled.
+
+    Raises:
+        VertexNotFoundError: if either endpoint is unknown.
+        DisconnectedError: if no path connects the endpoints.
+    """
+    _require_vertices(network, (source, target))
+    if source == target:
+        return 0.0
+    dist: Dict[VertexId, float] = {source: 0.0}
+    heap: List[Tuple[float, VertexId]] = [(0.0, source)]
+    settled: set = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return d
+        settled.add(u)
+        for v, weight in network.neighbours_view(u).items():
+            nd = d + weight
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    raise DisconnectedError(source, target)
+
+
+def shortest_path(network: RoadNetwork, source: VertexId, target: VertexId) -> PathResult:
+    """Return the shortest path (distance and vertex sequence) between two vertices.
+
+    Raises:
+        VertexNotFoundError: if either endpoint is unknown.
+        DisconnectedError: if no path connects the endpoints.
+    """
+    _require_vertices(network, (source, target))
+    if source == target:
+        return PathResult(source, target, 0.0, (source,))
+    dist: Dict[VertexId, float] = {source: 0.0}
+    parent: Dict[VertexId, VertexId] = {}
+    heap: List[Tuple[float, VertexId]] = [(0.0, source)]
+    settled: set = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return PathResult(source, target, d, tuple(reconstruct_path(parent, source, target)))
+        settled.add(u)
+        for v, weight in network.neighbours_view(u).items():
+            nd = d + weight
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    raise DisconnectedError(source, target)
+
+
+def astar_path(
+    network: RoadNetwork,
+    source: VertexId,
+    target: VertexId,
+    heuristic: Optional[Dict[VertexId, float]] = None,
+) -> PathResult:
+    """A* search from ``source`` to ``target``.
+
+    Without an explicit ``heuristic`` the Euclidean distance to ``target`` is
+    used, which is admissible whenever every edge weight is at least the
+    Euclidean length of the edge -- true for all networks produced by
+    :mod:`repro.roadnet.generators` (and verified by their tests).  The
+    movement planner uses this for long point-to-point routes where plain
+    Dijkstra would settle most of the network.
+
+    Args:
+        network: the road network (must carry coordinates unless a heuristic
+            mapping is given).
+        source: start vertex.
+        target: goal vertex.
+        heuristic: optional pre-computed admissible lower bounds
+            ``{vertex: h(vertex)}``; missing vertices default to 0.
+
+    Raises:
+        VertexNotFoundError: if either endpoint is unknown.
+        DisconnectedError: if no path connects the endpoints.
+    """
+    _require_vertices(network, (source, target))
+    if source == target:
+        return PathResult(source, target, 0.0, (source,))
+
+    if heuristic is None:
+        target_point = network.coordinate(target)
+
+        def estimate(vertex: VertexId) -> float:
+            return network.coordinate(vertex).distance_to(target_point)
+
+    else:
+
+        def estimate(vertex: VertexId) -> float:
+            return heuristic.get(vertex, 0.0)
+
+    dist: Dict[VertexId, float] = {source: 0.0}
+    parent: Dict[VertexId, VertexId] = {}
+    heap: List[Tuple[float, float, VertexId]] = [(estimate(source), 0.0, source)]
+    settled: set = set()
+    while heap:
+        _, d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return PathResult(source, target, d, tuple(reconstruct_path(parent, source, target)))
+        settled.add(u)
+        for v, weight in network.neighbours_view(u).items():
+            nd = d + weight
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd + estimate(v), nd, v))
+    raise DisconnectedError(source, target)
+
+
+def bidirectional_dijkstra(network: RoadNetwork, source: VertexId, target: VertexId) -> PathResult:
+    """Meet-in-the-middle Dijkstra between ``source`` and ``target``.
+
+    Produces the same result as :func:`shortest_path` while settling far
+    fewer vertices on large networks.
+
+    Raises:
+        VertexNotFoundError: if either endpoint is unknown.
+        DisconnectedError: if no path connects the endpoints.
+    """
+    _require_vertices(network, (source, target))
+    if source == target:
+        return PathResult(source, target, 0.0, (source,))
+
+    dist_f: Dict[VertexId, float] = {source: 0.0}
+    dist_b: Dict[VertexId, float] = {target: 0.0}
+    parent_f: Dict[VertexId, VertexId] = {}
+    parent_b: Dict[VertexId, VertexId] = {}
+    heap_f: List[Tuple[float, VertexId]] = [(0.0, source)]
+    heap_b: List[Tuple[float, VertexId]] = [(0.0, target)]
+    settled_f: set = set()
+    settled_b: set = set()
+    best = INFINITY
+    meeting: Optional[VertexId] = None
+
+    def relax(
+        heap: List[Tuple[float, VertexId]],
+        dist: Dict[VertexId, float],
+        parent: Dict[VertexId, VertexId],
+        settled: set,
+        other_dist: Dict[VertexId, float],
+    ) -> None:
+        nonlocal best, meeting
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            return
+        settled.add(u)
+        for v, weight in network.neighbours_view(u).items():
+            nd = d + weight
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+            if v in other_dist and nd + other_dist[v] < best:
+                best = nd + other_dist[v]
+                meeting = v
+        if u in other_dist and d + other_dist[u] < best:
+            best = d + other_dist[u]
+            meeting = u
+
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        if heap_f[0][0] <= heap_b[0][0]:
+            relax(heap_f, dist_f, parent_f, settled_f, dist_b)
+        else:
+            relax(heap_b, dist_b, parent_b, settled_b, dist_f)
+
+    if meeting is None:
+        raise DisconnectedError(source, target)
+
+    forward = reconstruct_path(parent_f, source, meeting)
+    backward = reconstruct_path(parent_b, target, meeting)
+    full_path = forward + list(reversed(backward[:-1]))
+    return PathResult(source, target, best, tuple(full_path))
+
+
+def bounded_dijkstra(
+    network: RoadNetwork, source: VertexId, radius: float
+) -> Dict[VertexId, float]:
+    """Return distances from ``source`` to every vertex within ``radius``.
+
+    Vertices whose shortest-path distance exceeds ``radius`` are omitted.
+    Used by the grid index construction and by the search frontiers of the
+    matchers, which only ever care about vehicles close enough to qualify.
+
+    Raises:
+        VertexNotFoundError: if ``source`` is unknown.
+        ValueError: if ``radius`` is negative.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    _require_vertices(network, (source,))
+    dist: Dict[VertexId, float] = {source: 0.0}
+    result: Dict[VertexId, float] = {}
+    heap: List[Tuple[float, VertexId]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in result:
+            continue
+        if d > radius:
+            break
+        result[u] = d
+        for v, weight in network.neighbours_view(u).items():
+            nd = d + weight
+            if nd <= radius and nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return result
+
+
+def dijkstra_all(network: RoadNetwork, source: VertexId) -> Dict[VertexId, float]:
+    """Return shortest-path distances from ``source`` to every reachable vertex."""
+    _require_vertices(network, (source,))
+    dist: Dict[VertexId, float] = {source: 0.0}
+    result: Dict[VertexId, float] = {}
+    heap: List[Tuple[float, VertexId]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in result:
+            continue
+        result[u] = d
+        for v, weight in network.neighbours_view(u).items():
+            nd = d + weight
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return result
+
+
+def multi_source_dijkstra(
+    network: RoadNetwork, sources: Iterable[VertexId]
+) -> Dict[VertexId, float]:
+    """Return, for every reachable vertex, the distance to its *closest* source.
+
+    This is what the grid index uses to compute the distance from every vertex
+    of a cell to the cell's border-vertex set, and the cell-pair lower bounds.
+
+    Raises:
+        VertexNotFoundError: if any source is unknown.
+        ValueError: if ``sources`` is empty.
+    """
+    source_list = list(sources)
+    if not source_list:
+        raise ValueError("multi_source_dijkstra requires at least one source")
+    _require_vertices(network, source_list)
+    dist: Dict[VertexId, float] = {s: 0.0 for s in source_list}
+    result: Dict[VertexId, float] = {}
+    heap: List[Tuple[float, VertexId]] = [(0.0, s) for s in source_list]
+    heapq.heapify(heap)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in result:
+            continue
+        result[u] = d
+        for v, weight in network.neighbours_view(u).items():
+            nd = d + weight
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return result
+
+
+def reconstruct_path(
+    parent: Dict[VertexId, VertexId], source: VertexId, target: VertexId
+) -> List[VertexId]:
+    """Rebuild the vertex sequence from a parent map produced by Dijkstra."""
+    path = [target]
+    current = target
+    while current != source:
+        current = parent[current]
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def path_length(network: RoadNetwork, path: Iterable[VertexId]) -> float:
+    """Return the total weight of a vertex sequence interpreted as a walk.
+
+    Raises:
+        EdgeNotFoundError: if two consecutive vertices are not adjacent.
+    """
+    total = 0.0
+    previous: Optional[VertexId] = None
+    for vertex in path:
+        if previous is not None:
+            total += network.edge_weight(previous, vertex)
+        previous = vertex
+    return total
+
+
+@dataclass
+class _OracleStats:
+    """Bookkeeping counters exposed by :class:`DistanceOracle`."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    dijkstra_runs: int = 0
+
+
+class DistanceOracle:
+    """A memoising shortest-path distance oracle.
+
+    The matchers issue many distance queries that share their source vertex
+    (for example the request start location ``s`` against many candidate
+    pick-up points), so the oracle caches complete single-source shortest-path
+    trees keyed by source.  A ``max_cached_sources`` bound keeps memory in
+    check for day-long simulations; the eviction policy is FIFO, which is
+    adequate because sources are short-lived (one request, one vehicle step).
+    """
+
+    def __init__(self, network: RoadNetwork, max_cached_sources: int = 1024) -> None:
+        if max_cached_sources <= 0:
+            raise ValueError("max_cached_sources must be positive")
+        self._network = network
+        self._max_cached_sources = max_cached_sources
+        self._trees: Dict[VertexId, Dict[VertexId, float]] = {}
+        self._order: List[VertexId] = []
+        self.stats = _OracleStats()
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The road network the oracle answers queries on."""
+        return self._network
+
+    def distance(self, source: VertexId, target: VertexId) -> float:
+        """Return ``dist(source, target)``, computing and caching as needed.
+
+        Raises:
+            DisconnectedError: if ``target`` is unreachable from ``source``.
+        """
+        self.stats.queries += 1
+        if source == target:
+            return 0.0
+        tree = self._trees.get(source)
+        if tree is None:
+            # Symmetric graph: a cached tree rooted at ``target`` answers too.
+            tree = self._trees.get(target)
+            if tree is not None:
+                source, target = target, source
+        if tree is None:
+            tree = self._grow_tree(source)
+        else:
+            self.stats.cache_hits += 1
+        try:
+            return tree[target]
+        except KeyError:
+            raise DisconnectedError(source, target) from None
+
+    def distances_from(self, source: VertexId) -> Dict[VertexId, float]:
+        """Return (a reference to) the full distance tree rooted at ``source``."""
+        self.stats.queries += 1
+        tree = self._trees.get(source)
+        if tree is None:
+            tree = self._grow_tree(source)
+        else:
+            self.stats.cache_hits += 1
+        return tree
+
+    def path(self, source: VertexId, target: VertexId) -> PathResult:
+        """Return the full path; not cached (paths are only needed for movement)."""
+        return shortest_path(self._network, source, target)
+
+    def invalidate(self) -> None:
+        """Drop every cached tree (call after the network is mutated)."""
+        self._trees.clear()
+        self._order.clear()
+
+    def _grow_tree(self, source: VertexId) -> Dict[VertexId, float]:
+        tree = dijkstra_all(self._network, source)
+        self.stats.dijkstra_runs += 1
+        self._trees[source] = tree
+        self._order.append(source)
+        if len(self._order) > self._max_cached_sources:
+            evicted = self._order.pop(0)
+            self._trees.pop(evicted, None)
+        return tree

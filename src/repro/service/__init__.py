@@ -1,0 +1,13 @@
+"""The in-memory PTRider service.
+
+The demonstration exposes PTRider through a smartphone interface (book a
+taxi, see the price/time options, choose one) and a website interface (view
+trip schedules, read live statistics, set the global parameters and the
+matching algorithm).  Both interfaces are thin shells around the same
+operations; :class:`repro.service.api.PTRiderService` exposes those
+operations programmatically.
+"""
+
+from repro.service.api import Booking, PTRiderService, build_system
+
+__all__ = ["Booking", "PTRiderService", "build_system"]

@@ -1,0 +1,370 @@
+"""The PTRider service: the demo's smartphone and website flows as an API.
+
+Smartphone interface (Section 4.1)
+    1. :meth:`PTRiderService.book` -- the rider supplies a start location, a
+       destination and a rider count; the service applies the global waiting
+       time / service constraint and returns the non-dominated options;
+    2. :meth:`PTRiderService.choose` -- the rider picks an option; the
+       serving vehicle's kinetic tree and the grid's vehicle lists are
+       updated.
+
+Website interface (Section 4.2)
+    * :meth:`PTRiderService.vehicle_schedules` -- the trip schedules of a
+      selected taxi (the red branches drawn on the demo's map);
+    * :meth:`PTRiderService.statistics` -- the live panel (current time,
+      average response time, average sharing rate, ...);
+    * :meth:`PTRiderService.set_parameters` -- the admin form (taxi capacity,
+      number of taxis, maximum waiting time, service constraint, price
+      calculator, matching algorithm).
+
+Time advances through :meth:`PTRiderService.advance`, which delegates to the
+simulation engine: vehicles drive their schedules, pick-ups and drop-offs
+fire, and idle vehicles wander -- exactly the demo's background behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.nearest import NearestVehicleMatcher
+from repro.baselines.sharek import SharekStyleMatcher
+from repro.baselines.tshare import TShareStyleMatcher
+from repro.core.config import SystemConfig
+from repro.core.dispatcher import Dispatcher
+from repro.core.dual_side import DualSideSearchMatcher
+from repro.core.matcher import Matcher
+from repro.core.naive import NaiveKineticTreeMatcher
+from repro.core.single_side import SingleSideSearchMatcher
+from repro.errors import ConfigurationError, ServiceError, UnknownOptionError
+from repro.model.options import RideOption
+from repro.model.request import Request
+from repro.roadnet.generators import grid_network
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.shortest_path import DistanceOracle
+from repro.sim.engine import SimulationEngine
+from repro.sim.workload import RequestWorkload
+from repro.vehicles.fleet import Fleet
+from repro.vehicles.vehicle import Vehicle
+
+__all__ = ["Booking", "PTRiderService", "build_system", "MATCHER_REGISTRY"]
+
+#: Matching algorithms selectable through the admin interface.
+MATCHER_REGISTRY = {
+    "single_side": SingleSideSearchMatcher,
+    "dual_side": DualSideSearchMatcher,
+    "naive": NaiveKineticTreeMatcher,
+    "nearest": NearestVehicleMatcher,
+    "sharek": SharekStyleMatcher,
+    "tshare": TShareStyleMatcher,
+}
+
+
+@dataclass
+class Booking:
+    """One rider interaction: request, offered options, eventual choice."""
+
+    booking_id: str
+    request: Request
+    options: Tuple[RideOption, ...]
+    chosen: Optional[RideOption] = None
+    #: wall-clock seconds the matcher needed to produce the options
+    response_seconds: float = 0.0
+
+    @property
+    def is_open(self) -> bool:
+        """``True`` while the rider has not chosen (or cancelled)."""
+        return self.chosen is None
+
+    @property
+    def option_count(self) -> int:
+        """Number of non-dominated options offered."""
+        return len(self.options)
+
+
+class PTRiderService:
+    """The complete in-memory PTRider system.
+
+    Args:
+        fleet: the vehicle fleet (already registered in a grid index).
+        config: global system parameters.
+        seed: seed for the embedded simulation engine's idle wandering.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        config: Optional[SystemConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._fleet = fleet
+        self._config = config or SystemConfig()
+        self._matcher = self._build_matcher(self._config.matcher_name)
+        self._dispatcher = Dispatcher(fleet, self._matcher, self._config)
+        self._engine = SimulationEngine(
+            dispatcher=self._dispatcher,
+            workload=RequestWorkload([]),
+            speed=self._config.speed,
+            tick=1.0,
+            seed=seed,
+        )
+        self._bookings: Dict[str, Booking] = {}
+        self._booking_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def fleet(self) -> Fleet:
+        """The fleet behind the service."""
+        return self._fleet
+
+    @property
+    def config(self) -> SystemConfig:
+        """The current global parameters."""
+        return self._config
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        """The dispatcher used by the service (exposed for examples/benchmarks)."""
+        return self._dispatcher
+
+    @property
+    def matcher(self) -> Matcher:
+        """The matching algorithm currently in use."""
+        return self._matcher
+
+    @property
+    def current_time(self) -> float:
+        """The current simulation time (the website panel's clock)."""
+        return self._engine.time
+
+    def _build_matcher(self, name: str) -> Matcher:
+        try:
+            matcher_class = MATCHER_REGISTRY[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown matcher {name!r}; choose one of {sorted(MATCHER_REGISTRY)}"
+            ) from None
+        return matcher_class(self._fleet, config=self._config)
+
+    # ------------------------------------------------------------------
+    # smartphone interface
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> List[RideOption]:
+        """Return the non-dominated options for a fully specified request."""
+        return self._dispatcher.submit(self._dispatcher.normalise(request))
+
+    def book(self, start: int, destination: int, riders: int = 1) -> Booking:
+        """Step (i)+(ii) of the demo flow: submit a trip, receive the options.
+
+        The global maximum waiting time and service constraint are applied,
+        exactly as the demo does for requests coming from the smartphone UI.
+        """
+        request = Request(
+            start=start,
+            destination=destination,
+            riders=riders,
+            max_waiting=self._config.max_waiting,
+            service_constraint=self._config.service_constraint,
+            submit_time=self._engine.time,
+        )
+        started = time.perf_counter()
+        options = self._dispatcher.submit(request)
+        elapsed = time.perf_counter() - started
+        booking = Booking(
+            booking_id=f"B{next(self._booking_counter)}",
+            request=request,
+            options=tuple(options),
+            response_seconds=elapsed,
+        )
+        self._bookings[booking.booking_id] = booking
+        return booking
+
+    def options(self, booking_id: str) -> List[RideOption]:
+        """Return the options of an open booking."""
+        return list(self._get_booking(booking_id).options)
+
+    def choose(self, booking_id: str, option_index: int) -> RideOption:
+        """Step (iii): the rider picks option ``option_index`` (0-based).
+
+        Raises:
+            UnknownOptionError: for an invalid index or an already closed
+                booking, or when the option can no longer be honoured.
+        """
+        booking = self._get_booking(booking_id)
+        if not booking.is_open:
+            raise UnknownOptionError(f"booking {booking_id} is already closed")
+        if not 0 <= option_index < len(booking.options):
+            raise UnknownOptionError(
+                f"booking {booking_id} has {len(booking.options)} options; index {option_index} is invalid"
+            )
+        option = booking.options[option_index]
+        self._dispatcher.commit(booking.request, option)
+        booking.chosen = option
+        self._engine.statistics.record_submission(
+            request_id=booking.request.request_id,
+            submit_time=booking.request.submit_time,
+            option_count=len(booking.options),
+            response_seconds=booking.response_seconds,
+            matched=True,
+            planned_pickup_distance=option.pickup_distance,
+            direct_distance=self._fleet.oracle.distance(
+                booking.request.start, booking.request.destination
+            ),
+        )
+        self._engine.register_assignment(
+            booking.request.request_id, option.vehicle_id, option.pickup_distance
+        )
+        return option
+
+    def cancel(self, booking_id: str) -> None:
+        """Discard an open booking (the rider walked away without choosing)."""
+        booking = self._get_booking(booking_id)
+        if not booking.is_open:
+            raise ServiceError(f"booking {booking_id} was already confirmed and cannot be cancelled")
+        self._engine.statistics.record_submission(
+            request_id=booking.request.request_id,
+            submit_time=booking.request.submit_time,
+            option_count=len(booking.options),
+            response_seconds=booking.response_seconds,
+            matched=False,
+            direct_distance=self._fleet.oracle.distance(
+                booking.request.start, booking.request.destination
+            ),
+        )
+        del self._bookings[booking_id]
+
+    def booking(self, booking_id: str) -> Booking:
+        """Return a booking by id."""
+        return self._get_booking(booking_id)
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def advance(self, duration: float) -> None:
+        """Advance the world by ``duration`` time units (vehicles move, stops fire)."""
+        if duration < 0:
+            raise ServiceError(f"duration must be non-negative, got {duration}")
+        target = self._engine.time + duration
+        while self._engine.time < target - 1e-9:
+            self._engine.step()
+
+    # ------------------------------------------------------------------
+    # website interface
+    # ------------------------------------------------------------------
+    def vehicle_ids(self) -> List[str]:
+        """Every taxi id (the website's taxi selector)."""
+        return self._fleet.vehicle_ids()
+
+    def vehicle_schedules(self, vehicle_id: str) -> List[List[Tuple[int, str, str]]]:
+        """Return every valid trip schedule of a taxi as ``(vertex, kind, request)`` triples."""
+        vehicle = self._fleet.get(vehicle_id)
+        schedules = []
+        for schedule in vehicle.kinetic_tree.schedules():
+            schedules.append([(stop.vertex, stop.kind.value, stop.request_id) for stop in schedule])
+        return schedules
+
+    def unfinished_requests_of(self, vehicle_id: str) -> List[str]:
+        """The website's per-taxi drop-down of unfinished requests."""
+        return self._fleet.get(vehicle_id).unfinished_request_ids()
+
+    def statistics(self) -> Dict[str, float]:
+        """The live statistics panel (plus matcher work counters)."""
+        panel = self._engine.statistics.panel()
+        panel["current_time"] = self._engine.time
+        panel.update({f"matcher_{k}": v for k, v in self._matcher.statistics.as_dict().items()})
+        panel.update({f"fleet_{k}": v for k, v in self._fleet.occupancy_statistics().items()})
+        return panel
+
+    def set_parameters(
+        self,
+        max_waiting: Optional[float] = None,
+        service_constraint: Optional[float] = None,
+        vehicle_capacity: Optional[int] = None,
+        max_pickup_distance: Optional[float] = None,
+        matcher_name: Optional[str] = None,
+    ) -> SystemConfig:
+        """The admin form: update global parameters and/or swap the matcher.
+
+        Capacity changes apply to vehicles added afterwards (existing taxis
+        keep their physical capacity, as they would in reality).
+        """
+        changes: Dict[str, object] = {}
+        if max_waiting is not None:
+            changes["max_waiting"] = max_waiting
+        if service_constraint is not None:
+            changes["service_constraint"] = service_constraint
+        if vehicle_capacity is not None:
+            changes["vehicle_capacity"] = vehicle_capacity
+        if max_pickup_distance is not None:
+            changes["max_pickup_distance"] = max_pickup_distance
+        if matcher_name is not None:
+            if matcher_name not in MATCHER_REGISTRY:
+                raise ConfigurationError(
+                    f"unknown matcher {matcher_name!r}; choose one of {sorted(MATCHER_REGISTRY)}"
+                )
+            if matcher_name in SystemConfig._VALID_MATCHERS:
+                changes["matcher_name"] = matcher_name
+        if changes:
+            self._config = self._config.with_updates(**changes)
+        if matcher_name is not None:
+            self._matcher = self._build_matcher(matcher_name)
+        else:
+            self._matcher = self._build_matcher(type(self._matcher).name)
+        self._dispatcher = Dispatcher(self._fleet, self._matcher, self._config)
+        self._engine._dispatcher = self._dispatcher  # keep the engine on the new dispatcher
+        return self._config
+
+    # ------------------------------------------------------------------
+    def _get_booking(self, booking_id: str) -> Booking:
+        try:
+            return self._bookings[booking_id]
+        except KeyError:
+            raise ServiceError(f"unknown booking {booking_id!r}") from None
+
+
+def build_system(
+    network: Optional[RoadNetwork] = None,
+    network_rows: int = 15,
+    network_columns: int = 15,
+    vehicles: int = 30,
+    capacity: int = 4,
+    grid_rows: int = 8,
+    grid_columns: int = 8,
+    config: Optional[SystemConfig] = None,
+    seed: Optional[int] = None,
+) -> PTRiderService:
+    """Build a ready-to-use PTRider system.
+
+    Args:
+        network: an existing road network; when omitted a Manhattan grid of
+            ``network_rows x network_columns`` is generated.
+        vehicles: number of taxis, placed uniformly at random (Section 4).
+        capacity: seats per taxi.
+        grid_rows / grid_columns: granularity of the grid index.
+        config: global parameters (a default :class:`SystemConfig` otherwise,
+            with the requested capacity).
+        seed: seed controlling vehicle placement and idle wandering.
+
+    Returns:
+        A :class:`PTRiderService` whose fleet is registered and idle.
+    """
+    rng = random.Random(seed)
+    if network is None:
+        network = grid_network(network_rows, network_columns, spacing=1.0, weight_jitter=0.25, seed=seed)
+    system_config = config or SystemConfig(vehicle_capacity=capacity)
+    grid = GridIndex(network, rows=grid_rows, columns=grid_columns)
+    oracle = DistanceOracle(network)
+    fleet = Fleet(grid, oracle)
+    vertices = network.vertices()
+    for index in range(vehicles):
+        location = rng.choice(vertices)
+        fleet.add_vehicle(
+            Vehicle(f"c{index + 1}", location=location, capacity=system_config.vehicle_capacity)
+        )
+    return PTRiderService(fleet, config=system_config, seed=seed)

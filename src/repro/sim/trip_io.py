@@ -1,0 +1,116 @@
+"""Persistence of trip datasets.
+
+The demo replays a fixed historical dataset; experiments become reproducible
+when the (synthetic) dataset used for a run is archived next to its results.
+Two formats are supported:
+
+* CSV (``trip_id,origin,destination,riders,departure_time``), convenient for
+  spreadsheets and external tools;
+* JSON, convenient for bundling a dataset with the generator parameters that
+  produced it.
+
+Both round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.trips import TripRecord
+
+__all__ = ["save_trips_csv", "load_trips_csv", "save_trips_json", "load_trips_json"]
+
+PathLike = Union[str, Path]
+
+_CSV_FIELDS = ("trip_id", "origin", "destination", "riders", "departure_time")
+
+
+def save_trips_csv(trips: Iterable[TripRecord], path: PathLike) -> None:
+    """Write a trip dataset as CSV with a header row."""
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        for trip in trips:
+            writer.writerow(
+                [trip.trip_id, trip.origin, trip.destination, trip.riders, repr(trip.departure_time)]
+            )
+
+
+def load_trips_csv(path: PathLike) -> List[TripRecord]:
+    """Read a trip dataset previously written by :func:`save_trips_csv`.
+
+    Raises:
+        ConfigurationError: on a malformed header or row.
+    """
+    trips: List[TripRecord] = []
+    with Path(path).open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != _CSV_FIELDS:
+            raise ConfigurationError(f"{path}: expected header {_CSV_FIELDS}, got {header}")
+        for line_number, row in enumerate(reader, 2):
+            if not row:
+                continue
+            if len(row) != len(_CSV_FIELDS):
+                raise ConfigurationError(
+                    f"{path}:{line_number}: expected {len(_CSV_FIELDS)} fields, got {len(row)}"
+                )
+            trips.append(
+                TripRecord(
+                    trip_id=row[0],
+                    origin=int(row[1]),
+                    destination=int(row[2]),
+                    riders=int(row[3]),
+                    departure_time=float(row[4]),
+                )
+            )
+    return trips
+
+
+def save_trips_json(
+    trips: Iterable[TripRecord],
+    path: PathLike,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a trip dataset (plus optional generator metadata) as JSON."""
+    payload = {
+        "metadata": dict(metadata or {}),
+        "trips": [
+            {
+                "trip_id": trip.trip_id,
+                "origin": trip.origin,
+                "destination": trip.destination,
+                "riders": trip.riders,
+                "departure_time": trip.departure_time,
+            }
+            for trip in trips
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_trips_json(path: PathLike) -> List[TripRecord]:
+    """Read a trip dataset previously written by :func:`save_trips_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    trips = []
+    for entry in payload.get("trips", []):
+        trips.append(
+            TripRecord(
+                trip_id=str(entry["trip_id"]),
+                origin=int(entry["origin"]),
+                destination=int(entry["destination"]),
+                riders=int(entry["riders"]),
+                departure_time=float(entry["departure_time"]),
+            )
+        )
+    return trips
+
+
+def load_trips_metadata(path: PathLike) -> Dict[str, object]:
+    """Return the metadata block of a JSON trip dataset (empty when absent)."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return dict(payload.get("metadata", {}))

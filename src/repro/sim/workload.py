@@ -1,0 +1,204 @@
+"""Request workloads for the simulation engine and the benchmarks.
+
+A workload is an ordered stream of :class:`~repro.model.request.Request`
+objects with submission times.  Workloads are built
+
+* from a trip dataset (the demo replays the Shanghai trips as requests), or
+* from a Poisson arrival process over random origin/destination pairs, which
+  is what the parameter-sweep benchmarks use because it isolates the request
+  *rate* from the spatial structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.model.request import Request
+from repro.roadnet.graph import RoadNetwork
+from repro.sim.trips import TripRecord
+
+__all__ = ["RequestWorkload", "poisson_arrival_times", "requests_from_trips", "random_requests"]
+
+
+def poisson_arrival_times(
+    rate_per_second: float,
+    duration: float,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """Return arrival times of a homogeneous Poisson process on ``[0, duration]``.
+
+    Args:
+        rate_per_second: expected arrivals per time unit (> 0).
+        duration: length of the observation window.
+        rng: random generator (a fresh unseeded one is used when omitted).
+    """
+    if rate_per_second <= 0:
+        raise ConfigurationError(f"rate_per_second must be positive, got {rate_per_second}")
+    if duration < 0:
+        raise ConfigurationError(f"duration must be non-negative, got {duration}")
+    generator = rng or random.Random()
+    times: List[float] = []
+    current = 0.0
+    while True:
+        current += generator.expovariate(rate_per_second)
+        if current > duration:
+            break
+        times.append(current)
+    return times
+
+
+def requests_from_trips(
+    trips: Iterable[TripRecord],
+    max_waiting: float,
+    service_constraint: float,
+    id_prefix: str = "R",
+) -> List[Request]:
+    """Convert trip records into ridesharing requests with global constraints."""
+    requests: List[Request] = []
+    for index, trip in enumerate(trips, 1):
+        requests.append(
+            Request(
+                start=trip.origin,
+                destination=trip.destination,
+                riders=trip.riders,
+                max_waiting=max_waiting,
+                service_constraint=service_constraint,
+                request_id=f"{id_prefix}{index}",
+                submit_time=trip.departure_time,
+            )
+        )
+    return requests
+
+
+def random_requests(
+    network: RoadNetwork,
+    count: int,
+    max_waiting: float,
+    service_constraint: float,
+    duration: float = 0.0,
+    riders_range: Tuple[int, int] = (1, 2),
+    seed: Optional[int] = None,
+    id_prefix: str = "R",
+) -> List[Request]:
+    """Return ``count`` uniformly random requests on ``network``.
+
+    With ``duration > 0`` submission times are spread uniformly over the
+    window; otherwise every request is submitted at time zero (a burst).
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    low, high = riders_range
+    if low < 1 or high < low:
+        raise ConfigurationError(f"invalid riders_range {riders_range}")
+    rng = random.Random(seed)
+    vertices = network.vertices()
+    if len(vertices) < 2:
+        raise ConfigurationError("the network needs at least two vertices")
+    requests: List[Request] = []
+    for index in range(1, count + 1):
+        origin, destination = rng.sample(vertices, 2)
+        submit = rng.uniform(0.0, duration) if duration > 0 else 0.0
+        requests.append(
+            Request(
+                start=origin,
+                destination=destination,
+                riders=rng.randint(low, high),
+                max_waiting=max_waiting,
+                service_constraint=service_constraint,
+                request_id=f"{id_prefix}{index}",
+                submit_time=submit,
+            )
+        )
+    requests.sort(key=lambda request: request.submit_time)
+    return requests
+
+
+@dataclass
+class RequestWorkload:
+    """An ordered request stream consumed by the simulation engine."""
+
+    requests: List[Request] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.requests = sorted(self.requests, key=lambda request: request.submit_time)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Submission time of the last request (0 for an empty workload)."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].submit_time
+
+    def reset(self) -> None:
+        """Rewind the consumption cursor (for re-running a simulation)."""
+        self._cursor = 0
+
+    def due(self, until_time: float) -> List[Request]:
+        """Pop every request submitted at or before ``until_time``."""
+        released: List[Request] = []
+        while self._cursor < len(self.requests) and self.requests[self._cursor].submit_time <= until_time:
+            released.append(self.requests[self._cursor])
+            self._cursor += 1
+        return released
+
+    @property
+    def remaining(self) -> int:
+        """Requests not yet released."""
+        return len(self.requests) - self._cursor
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trips(
+        cls,
+        trips: Iterable[TripRecord],
+        max_waiting: float,
+        service_constraint: float,
+    ) -> "RequestWorkload":
+        """Build a workload that replays a trip dataset."""
+        return cls(requests_from_trips(trips, max_waiting, service_constraint))
+
+    @classmethod
+    def poisson(
+        cls,
+        network: RoadNetwork,
+        rate_per_second: float,
+        duration: float,
+        max_waiting: float,
+        service_constraint: float,
+        riders_range: Tuple[int, int] = (1, 2),
+        seed: Optional[int] = None,
+    ) -> "RequestWorkload":
+        """Build a Poisson workload with uniformly random endpoints."""
+        rng = random.Random(seed)
+        times = poisson_arrival_times(rate_per_second, duration, rng)
+        vertices = network.vertices()
+        if len(vertices) < 2:
+            raise ConfigurationError("the network needs at least two vertices")
+        low, high = riders_range
+        requests = []
+        for index, submit in enumerate(times, 1):
+            origin, destination = rng.sample(vertices, 2)
+            requests.append(
+                Request(
+                    start=origin,
+                    destination=destination,
+                    riders=rng.randint(low, high),
+                    max_waiting=max_waiting,
+                    service_constraint=service_constraint,
+                    request_id=f"P{index}",
+                    submit_time=submit,
+                )
+            )
+        return cls(requests)

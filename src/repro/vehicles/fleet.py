@@ -1,0 +1,209 @@
+"""The vehicle index of PTRider.
+
+The grid index of Section 3.2.1 keeps, per grid cell, an *empty vehicle list*
+(vehicles without assigned requests currently located in the cell) and a
+*non-empty vehicle list* (vehicles whose trip schedule intersects the cell).
+:class:`Fleet` owns the vehicles and keeps those per-cell lists in sync with
+vehicle state: every time a vehicle moves, is assigned a request, picks up or
+drops off riders, the dispatcher (or the simulation engine) calls
+:meth:`Fleet.refresh_vehicle`.
+
+Registration granularity
+------------------------
+The paper registers a non-empty vehicle with every cell its kinetic-tree
+*edges* intersect (i.e. every cell crossed by the shortest path between two
+consecutive stops).  Expanding every schedule leg into its full vertex path
+is expensive and is only needed to make destination-side pruning slightly
+tighter, so the default here registers a non-empty vehicle with the cells of
+its current location and of its schedule stops.  Construct the fleet with
+``register_full_paths=True`` to reproduce the paper's exact behaviour; the
+matchers are correct under both settings (see ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import UnknownVehicleError, VehicleError
+from repro.roadnet.grid_index import CellId, GridIndex
+from repro.roadnet.shortest_path import DistanceOracle, shortest_path
+from repro.vehicles.vehicle import Vehicle
+
+__all__ = ["Fleet"]
+
+
+class Fleet:
+    """Container of every vehicle plus the per-cell vehicle lists.
+
+    Args:
+        grid: the grid index of the road network.
+        oracle: shortest-path oracle (used when ``register_full_paths`` is on
+            and by convenience helpers).
+        register_full_paths: register non-empty vehicles with every cell their
+            schedule legs cross (paper behaviour) instead of only the cells of
+            their stops.
+    """
+
+    def __init__(
+        self,
+        grid: GridIndex,
+        oracle: Optional[DistanceOracle] = None,
+        register_full_paths: bool = False,
+    ) -> None:
+        self._grid = grid
+        self._oracle = oracle or DistanceOracle(grid.network)
+        self._register_full_paths = register_full_paths
+        self._vehicles: Dict[str, Vehicle] = {}
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._vehicles)
+
+    def __iter__(self) -> Iterator[Vehicle]:
+        return iter(self._vehicles.values())
+
+    def __contains__(self, vehicle_id: object) -> bool:
+        return vehicle_id in self._vehicles
+
+    @property
+    def grid(self) -> GridIndex:
+        """The grid index the fleet is registered in."""
+        return self._grid
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The shortest-path oracle shared with the matchers."""
+        return self._oracle
+
+    def vehicle_ids(self) -> List[str]:
+        """Return every registered vehicle id."""
+        return list(self._vehicles)
+
+    def get(self, vehicle_id: str) -> Vehicle:
+        """Return the vehicle with ``vehicle_id``.
+
+        Raises:
+            UnknownVehicleError: when the vehicle is not registered.
+        """
+        try:
+            return self._vehicles[vehicle_id]
+        except KeyError:
+            raise UnknownVehicleError(vehicle_id) from None
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add_vehicle(self, vehicle: Vehicle) -> None:
+        """Register a vehicle and place it in the grid lists.
+
+        Raises:
+            VehicleError: when a vehicle with the same id already exists.
+        """
+        if vehicle.vehicle_id in self._vehicles:
+            raise VehicleError(f"vehicle {vehicle.vehicle_id} is already registered")
+        self._vehicles[vehicle.vehicle_id] = vehicle
+        self.refresh_vehicle(vehicle.vehicle_id)
+
+    def remove_vehicle(self, vehicle_id: str) -> Vehicle:
+        """Unregister a vehicle and clear its grid entries.
+
+        Raises:
+            UnknownVehicleError: when the vehicle is not registered.
+        """
+        vehicle = self.get(vehicle_id)
+        self._clear_cells(vehicle)
+        del self._vehicles[vehicle_id]
+        return vehicle
+
+    def refresh_vehicle(self, vehicle_id: str) -> None:
+        """Re-register ``vehicle_id`` in the grid lists after a state change.
+
+        Call this whenever the vehicle's location changed cell, a request was
+        assigned / picked up / dropped off, or its kinetic tree changed.
+        """
+        vehicle = self.get(vehicle_id)
+        self._clear_cells(vehicle)
+        if vehicle.is_empty:
+            cell_id = self._grid.register_empty_vehicle(vehicle.vehicle_id, vehicle.location)
+            vehicle.registered_cells = {cell_id}
+            return
+        cells = self._schedule_cells(vehicle)
+        self._grid.register_nonempty_vehicle(vehicle.vehicle_id, cells)
+        vehicle.registered_cells = set(cells)
+
+    def _clear_cells(self, vehicle: Vehicle) -> None:
+        if not vehicle.registered_cells:
+            return
+        if vehicle.is_empty:
+            # The vehicle may have just transitioned; clear it from both list
+            # kinds to stay consistent regardless of its previous state.
+            for cell_id in vehicle.registered_cells:
+                self._grid.unregister_empty_vehicle(vehicle.vehicle_id, cell_id)
+                self._grid.unregister_nonempty_vehicle(vehicle.vehicle_id, [cell_id])
+        else:
+            for cell_id in vehicle.registered_cells:
+                self._grid.unregister_empty_vehicle(vehicle.vehicle_id, cell_id)
+            self._grid.unregister_nonempty_vehicle(vehicle.vehicle_id, vehicle.registered_cells)
+        vehicle.registered_cells = set()
+
+    def _schedule_cells(self, vehicle: Vehicle) -> Set[CellId]:
+        """Cells a non-empty vehicle must be registered in."""
+        vertices: Set[int] = {vehicle.location}
+        schedules = vehicle.kinetic_tree.schedules()
+        for schedule in schedules:
+            for stop in schedule:
+                vertices.add(stop.vertex)
+        if self._register_full_paths and schedules:
+            # Expand the best schedule's legs into full vertex paths, so every
+            # crossed cell is covered (paper behaviour).
+            best = vehicle.kinetic_tree.best_schedule(self._oracle.distance, vehicle.offset)
+            previous = vehicle.location
+            for stop in best or ():
+                result = shortest_path(self._grid.network, previous, stop.vertex)
+                vertices.update(result.path)
+                previous = stop.vertex
+        return self._grid.cells_on_path(sorted(vertices))
+
+    # ------------------------------------------------------------------
+    # queries used by the matchers
+    # ------------------------------------------------------------------
+    def empty_vehicles_in_cell(self, cell_id: CellId) -> List[Vehicle]:
+        """Return the empty vehicles registered in ``cell_id``."""
+        cell = self._grid.cell(cell_id)
+        return [self._vehicles[vid] for vid in sorted(cell.empty_vehicles) if vid in self._vehicles]
+
+    def nonempty_vehicles_in_cell(self, cell_id: CellId) -> List[Vehicle]:
+        """Return the non-empty vehicles registered in ``cell_id``."""
+        cell = self._grid.cell(cell_id)
+        return [self._vehicles[vid] for vid in sorted(cell.nonempty_vehicles) if vid in self._vehicles]
+
+    def vehicles(self) -> List[Vehicle]:
+        """Return every vehicle (sorted by id, for deterministic iteration)."""
+        return [self._vehicles[vid] for vid in sorted(self._vehicles)]
+
+    def empty_vehicles(self) -> List[Vehicle]:
+        """Return every empty vehicle."""
+        return [vehicle for vehicle in self.vehicles() if vehicle.is_empty]
+
+    def nonempty_vehicles(self) -> List[Vehicle]:
+        """Return every non-empty vehicle."""
+        return [vehicle for vehicle in self.vehicles() if not vehicle.is_empty]
+
+    def occupancy_statistics(self) -> Dict[str, float]:
+        """Return aggregate fleet statistics (for the website admin view)."""
+        vehicles = self.vehicles()
+        if not vehicles:
+            return {"vehicles": 0.0, "empty": 0.0, "nonempty": 0.0, "average_occupancy": 0.0}
+        empty = sum(1 for vehicle in vehicles if vehicle.is_empty)
+        total_occupancy = sum(vehicle.occupancy for vehicle in vehicles)
+        return {
+            "vehicles": float(len(vehicles)),
+            "empty": float(empty),
+            "nonempty": float(len(vehicles) - empty),
+            "average_occupancy": total_occupancy / len(vehicles),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Fleet(vehicles={len(self._vehicles)}, grid={self._grid!r})"

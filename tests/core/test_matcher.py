@@ -1,0 +1,120 @@
+"""Unit tests for the shared matcher machinery and its lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.matcher import MatcherStatistics, added_distance_lower_bound
+from repro.core.naive import NaiveKineticTreeMatcher
+from repro.core.single_side import SingleSideSearchMatcher
+from repro.model.request import Request
+from repro.roadnet.generators import figure1_network
+from repro.roadnet.shortest_path import DistanceOracle
+from repro.vehicles.schedule import schedule_distance
+from repro.vehicles.vehicle import Vehicle
+
+from tests.conftest import assign_request, build_fleet
+
+
+class TestMatcherStatistics:
+    def test_reset(self):
+        stats = MatcherStatistics()
+        stats.requests_answered = 4
+        stats.insertion.candidates_enumerated = 10
+        stats.reset()
+        assert stats.requests_answered == 0
+        assert stats.insertion.candidates_enumerated == 0
+
+    def test_as_dict_keys(self):
+        keys = MatcherStatistics().as_dict()
+        assert "vehicles_evaluated" in keys
+        assert "insertions_feasible" in keys
+
+
+class TestVerifyVehicle:
+    def test_per_vehicle_options_are_skyline(self, figure1_fleet, paper_config):
+        matcher = NaiveKineticTreeMatcher(figure1_fleet, config=paper_config)
+        request = Request(start=12, destination=17, riders=2, max_waiting=50.0, service_constraint=3.0)
+        options = matcher._verify_vehicle(figure1_fleet.get("c1"), request)  # noqa: SLF001
+        for first in options:
+            for second in options:
+                if first is not second:
+                    assert not first.dominates(second)
+
+    def test_max_pickup_distance_filters_options(self, figure1_fleet):
+        config = SystemConfig(max_waiting=5.0, service_constraint=0.2, max_pickup_distance=10.0)
+        matcher = NaiveKineticTreeMatcher(figure1_fleet, config=config)
+        request = Request(start=12, destination=17, riders=2, max_waiting=5.0, service_constraint=0.2)
+        options = matcher.match(request)
+        # c1's pick-up distance is 14 > 10, so only c2 remains.
+        assert [option.vehicle_id for option in options] == ["c2"]
+
+    def test_match_counts_statistics(self, figure1_fleet, paper_config, paper_request_r2):
+        matcher = NaiveKineticTreeMatcher(figure1_fleet, config=paper_config)
+        matcher.match(paper_request_r2)
+        assert matcher.statistics.requests_answered == 1
+        assert matcher.statistics.vehicles_evaluated == 2
+        assert matcher.statistics.options_returned == 2
+
+
+class TestLowerBounds:
+    def test_pickup_lower_bound_admissible(self, figure1_fleet, paper_request_r2, paper_config):
+        matcher = SingleSideSearchMatcher(figure1_fleet, config=paper_config)
+        oracle = figure1_fleet.oracle
+        for vehicle in figure1_fleet.vehicles():
+            bound = matcher._pickup_lower_bound(vehicle, paper_request_r2)  # noqa: SLF001
+            exact = oracle.distance(vehicle.location, paper_request_r2.start) + vehicle.offset
+            assert bound <= exact + 1e-9
+
+    def test_price_lower_bound_admissible(self, figure1_fleet, paper_request_r2, paper_config):
+        matcher = SingleSideSearchMatcher(figure1_fleet, config=paper_config)
+        direct = figure1_fleet.oracle.distance(paper_request_r2.start, paper_request_r2.destination)
+        reference = NaiveKineticTreeMatcher(figure1_fleet, config=paper_config)
+        options = {o.vehicle_id: o for o in reference.match(paper_request_r2)}
+        for vehicle in figure1_fleet.vehicles():
+            bound = matcher._price_lower_bound(vehicle, paper_request_r2, direct)  # noqa: SLF001
+            if vehicle.vehicle_id in options:
+                assert bound <= options[vehicle.vehicle_id].price + 1e-9
+
+
+class TestAddedDistanceLowerBound:
+    def test_empty_vehicle_uses_pickup_bound(self):
+        network = figure1_network()
+        fleet = build_fleet(network, [13])
+        vehicle = fleet.get("c1")
+        bound = added_distance_lower_bound(vehicle, 12, fleet.grid, fleet.oracle)
+        assert bound <= fleet.oracle.distance(13, 12) + 1e-9
+
+    def test_bound_is_admissible_against_actual_insertion(self):
+        network = figure1_network()
+        fleet = build_fleet(network, [1])
+        r1 = Request(start=2, destination=16, riders=2, max_waiting=5.0, service_constraint=0.2, request_id="R1")
+        assign_request(fleet, "c1", r1, planned_pickup_distance=8.0)
+        vehicle = fleet.get("c1")
+        oracle = fleet.oracle
+
+        for probe_vertex in (12, 17, 5, 9):
+            bound = added_distance_lower_bound(vehicle, probe_vertex, fleet.grid, oracle)
+            # actual minimal added distance of inserting the single stop
+            base = vehicle.kinetic_tree.schedules()[0]
+            base_total = schedule_distance(vehicle.location, base, oracle.distance)
+            best_added = float("inf")
+            vertices = [vehicle.location] + [stop.vertex for stop in base]
+            for index in range(len(vertices) - 1):
+                added = (
+                    oracle.distance(vertices[index], probe_vertex)
+                    + oracle.distance(probe_vertex, vertices[index + 1])
+                    - oracle.distance(vertices[index], vertices[index + 1])
+                )
+                best_added = min(best_added, added)
+            best_added = min(best_added, oracle.distance(vertices[-1], probe_vertex))
+            assert bound <= best_added + 1e-9
+
+    def test_bound_zero_when_vertex_on_schedule(self):
+        network = figure1_network()
+        fleet = build_fleet(network, [1])
+        r1 = Request(start=2, destination=16, riders=2, max_waiting=5.0, service_constraint=0.2, request_id="R1")
+        assign_request(fleet, "c1", r1, planned_pickup_distance=8.0)
+        vehicle = fleet.get("c1")
+        assert added_distance_lower_bound(vehicle, 2, fleet.grid, fleet.oracle) == pytest.approx(0.0)

@@ -1,0 +1,78 @@
+"""End-to-end reproduction of the worked example of Section 2 (experiment E1).
+
+The paper states, for the Fig. 1 scenario with vehicles c1 (schedule
+<v1, v2, v16>, serving a rider from v2 to v16) and c2 (empty at v13), and the
+request R2 = <v12, v17, 2, 5, 0.2>:
+
+* inserting R2 into c1 yields the schedule <v1, v2, v12, v16, v17> at price 4;
+* the returned results are r1 = <c1, 14, 4> and r2 = <c2, 8, 8.8>,
+  neither of which dominates the other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.dual_side import DualSideSearchMatcher
+from repro.core.naive import NaiveKineticTreeMatcher
+from repro.core.single_side import SingleSideSearchMatcher
+from repro.model.options import dominates
+from repro.model.stops import StopKind
+
+ALL_MATCHERS = (NaiveKineticTreeMatcher, SingleSideSearchMatcher, DualSideSearchMatcher)
+
+
+@pytest.mark.parametrize("matcher_class", ALL_MATCHERS)
+def test_worked_example_options(figure1_fleet, paper_request_r2, paper_config, matcher_class):
+    matcher = matcher_class(figure1_fleet, config=paper_config)
+    options = matcher.match(paper_request_r2)
+    by_vehicle = {option.vehicle_id: option for option in options}
+    assert set(by_vehicle) == {"c1", "c2"}
+
+    r1 = by_vehicle["c1"]
+    assert r1.pickup_distance == pytest.approx(14.0)
+    assert r1.price == pytest.approx(4.0)
+
+    r2 = by_vehicle["c2"]
+    assert r2.pickup_distance == pytest.approx(8.0)
+    assert r2.price == pytest.approx(8.8)
+
+    assert not dominates(r1, r2)
+    assert not dominates(r2, r1)
+
+
+@pytest.mark.parametrize("matcher_class", ALL_MATCHERS)
+def test_worked_example_schedule_of_c1(figure1_fleet, paper_request_r2, paper_config, matcher_class):
+    """The c1 option follows the paper's new schedule <v1, v2, v12, v16, v17>."""
+    matcher = matcher_class(figure1_fleet, config=paper_config)
+    options = matcher.match(paper_request_r2)
+    c1_option = next(option for option in options if option.vehicle_id == "c1")
+    vertices = [stop.vertex for stop in c1_option.schedule]
+    assert vertices == [2, 12, 16, 17]
+    kinds = [stop.kind for stop in c1_option.schedule]
+    assert kinds == [StopKind.PICKUP, StopKind.PICKUP, StopKind.DROPOFF, StopKind.DROPOFF]
+
+
+@pytest.mark.parametrize("matcher_class", ALL_MATCHERS)
+def test_worked_example_added_distance(figure1_fleet, paper_request_r2, paper_config, matcher_class):
+    """c1 drives 3 extra units; c2 drives 15 (8 to the pick-up plus the 7-unit trip)."""
+    matcher = matcher_class(figure1_fleet, config=paper_config)
+    options = {o.vehicle_id: o for o in matcher.match(paper_request_r2)}
+    assert options["c1"].added_distance == pytest.approx(3.0)
+    assert options["c2"].added_distance == pytest.approx(15.0)
+
+
+def test_example_price_formula_terms(figure1_oracle):
+    """The price of c1 decomposes exactly as in the paper: f_2 * (disttr2 - disttr1 + dist(s, d))."""
+    dist = figure1_oracle.distance
+    disttr1 = dist(1, 2) + dist(2, 16)
+    disttr2 = dist(1, 2) + dist(2, 12) + dist(12, 16) + dist(16, 17)
+    f2 = 0.4
+    assert f2 * (disttr2 - disttr1 + dist(12, 17)) == pytest.approx(4.0)
+
+
+def test_example_requires_both_vehicle_kinds(figure1_fleet):
+    """The scenario exercises both the empty and the non-empty vehicle paths."""
+    assert not figure1_fleet.get("c1").is_empty
+    assert figure1_fleet.get("c2").is_empty

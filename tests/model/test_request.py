@@ -1,0 +1,80 @@
+"""Unit tests for the ridesharing request (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RequestError
+from repro.model.request import Request
+
+
+class TestValidation:
+    def test_valid_request(self):
+        request = Request(start=1, destination=2, riders=2, max_waiting=5.0, service_constraint=0.2)
+        assert request.riders == 2
+        assert request.request_id.startswith("req-")
+
+    def test_start_equals_destination(self):
+        with pytest.raises(RequestError):
+            Request(start=1, destination=1)
+
+    def test_riders_must_be_positive(self):
+        with pytest.raises(RequestError):
+            Request(start=1, destination=2, riders=0)
+
+    def test_negative_waiting(self):
+        with pytest.raises(RequestError):
+            Request(start=1, destination=2, max_waiting=-1.0)
+
+    def test_negative_service_constraint(self):
+        with pytest.raises(RequestError):
+            Request(start=1, destination=2, service_constraint=-0.1)
+
+    def test_negative_submit_time(self):
+        with pytest.raises(RequestError):
+            Request(start=1, destination=2, submit_time=-1.0)
+
+    def test_unique_generated_ids(self):
+        ids = {Request(start=1, destination=2).request_id for _ in range(50)}
+        assert len(ids) == 50
+
+
+class TestBehaviour:
+    def test_detour_budget(self):
+        request = Request(start=1, destination=2, service_constraint=0.2)
+        assert request.detour_budget(10.0) == pytest.approx(12.0)
+
+    def test_detour_budget_zero_constraint(self):
+        request = Request(start=1, destination=2, service_constraint=0.0)
+        assert request.detour_budget(10.0) == pytest.approx(10.0)
+
+    def test_detour_budget_rejects_negative_distance(self):
+        request = Request(start=1, destination=2)
+        with pytest.raises(RequestError):
+            request.detour_budget(-1.0)
+
+    def test_with_submit_time_preserves_identity(self):
+        request = Request(start=1, destination=2, request_id="RX")
+        stamped = request.with_submit_time(42.0)
+        assert stamped.request_id == "RX"
+        assert stamped.submit_time == 42.0
+        assert request.submit_time == 0.0
+
+    def test_waiting_seconds(self):
+        request = Request(start=1, destination=2, max_waiting=10.0)
+        assert request.waiting_seconds(speed=2.0) == pytest.approx(5.0)
+
+    def test_waiting_seconds_rejects_bad_speed(self):
+        request = Request(start=1, destination=2)
+        with pytest.raises(RequestError):
+            request.waiting_seconds(0.0)
+
+    def test_describe_mentions_endpoints(self):
+        request = Request(start=3, destination=9, riders=2, request_id="R9")
+        text = request.describe()
+        assert "R9" in text and "3" in text and "9" in text
+
+    def test_requests_are_frozen(self):
+        request = Request(start=1, destination=2)
+        with pytest.raises(AttributeError):
+            request.riders = 3  # type: ignore[misc]

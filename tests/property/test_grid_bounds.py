@@ -1,0 +1,107 @@
+"""Property-based tests: the grid index's distance bounds are admissible.
+
+The single-side and dual-side matchers rely on the invariant that
+``GridIndex.distance_lower_bound(u, v) <= dist(u, v)`` for every vertex pair;
+if that ever failed, a qualifying vehicle could be pruned and the skyline
+would silently lose options.  The tests below generate random networks and
+random grid granularities and check the invariant exhaustively on samples.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matcher import added_distance_lower_bound
+from repro.model.request import Request
+from repro.roadnet.generators import grid_network, random_geometric_network
+from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.shortest_path import DistanceOracle, shortest_path_distance
+from repro.vehicles.vehicle import Vehicle
+
+from tests.conftest import assign_request, build_fleet
+
+
+@given(
+    rows=st.integers(min_value=2, max_value=6),
+    columns=st.integers(min_value=2, max_value=6),
+    grid_rows=st.integers(min_value=1, max_value=5),
+    grid_columns=st.integers(min_value=1, max_value=5),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_cell_lower_bounds_are_admissible_on_grid_networks(
+    rows, columns, grid_rows, grid_columns, jitter, seed
+):
+    network = grid_network(rows, columns, weight_jitter=jitter, seed=seed)
+    index = GridIndex(network, rows=grid_rows, columns=grid_columns)
+    vertices = network.vertices()
+    sample = vertices[:: max(1, len(vertices) // 8)]
+    for u in sample:
+        for v in sample:
+            bound = index.distance_lower_bound(u, v)
+            if math.isinf(bound):
+                continue
+            assert bound <= shortest_path_distance(network, u, v) + 1e-9
+
+
+@given(
+    count=st.integers(min_value=10, max_value=40),
+    radius=st.floats(min_value=0.15, max_value=0.5),
+    grid_rows=st.integers(min_value=1, max_value=4),
+    grid_columns=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_cell_lower_bounds_are_admissible_on_geometric_networks(
+    count, radius, grid_rows, grid_columns, seed
+):
+    network = random_geometric_network(count, radius=radius, seed=seed)
+    index = GridIndex(network, rows=grid_rows, columns=grid_columns)
+    vertices = network.vertices()
+    sample = vertices[:: max(1, len(vertices) // 6)]
+    for u in sample:
+        for v in sample:
+            bound = index.distance_lower_bound(u, v)
+            if math.isinf(bound):
+                continue
+            assert bound <= shortest_path_distance(network, u, v) + 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    vehicle_vertex=st.integers(min_value=1, max_value=36),
+    start=st.integers(min_value=1, max_value=36),
+    destination=st.integers(min_value=1, max_value=36),
+)
+@settings(max_examples=40, deadline=None)
+def test_added_distance_lower_bound_is_admissible(seed, vehicle_vertex, start, destination):
+    """The destination-side bound never exceeds the true added distance of any insertion."""
+    if start == destination:
+        return
+    network = grid_network(6, 6, weight_jitter=0.4, seed=seed)
+    fleet = build_fleet(network, [vehicle_vertex], grid_rows=3, grid_columns=3)
+    oracle = fleet.oracle
+    seed_request = Request(
+        start=start, destination=destination, riders=1, max_waiting=1e9, service_constraint=10.0,
+        request_id=f"seed-{seed}",
+    )
+    assign_request(fleet, "c1", seed_request)
+    vehicle = fleet.get("c1")
+
+    probe = (vehicle_vertex % 36) + 1
+    bound = added_distance_lower_bound(vehicle, probe, fleet.grid, oracle)
+
+    # true minimal added distance over every insertion position of the probe stop
+    for schedule in vehicle.kinetic_tree.schedules():
+        vertices = [vehicle.location] + [stop.vertex for stop in schedule]
+        best = min(
+            oracle.distance(vertices[i], probe) + oracle.distance(probe, vertices[i + 1])
+            - oracle.distance(vertices[i], vertices[i + 1])
+            for i in range(len(vertices) - 1)
+        )
+        best = min(best, oracle.distance(vertices[-1], probe))
+        assert bound <= best + 1e-9

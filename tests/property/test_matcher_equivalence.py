@@ -1,0 +1,96 @@
+"""Property-based equivalence of the optimized matchers with the naive reference.
+
+The central correctness claim of PTRider's optimisations (grid pruning,
+lower-bound short-circuiting, dual-side destination pruning) is that they are
+*lossless*: the skyline returned for any request equals the skyline that the
+naive kinetic-tree matcher computes by verifying every vehicle.  These tests
+generate random fleets, random pre-assigned requests and random probe
+requests, and assert the equality of the returned (pick-up, price) point sets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.dual_side import DualSideSearchMatcher
+from repro.core.naive import NaiveKineticTreeMatcher
+from repro.core.single_side import SingleSideSearchMatcher
+from repro.model.request import Request
+from repro.roadnet.generators import grid_network
+
+from tests.conftest import assign_request, build_fleet, option_points
+
+
+@st.composite
+def fleet_scenarios(draw):
+    """A random fleet with some vehicles already serving requests, plus a probe request."""
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    rng = random.Random(seed)
+    rows = draw(st.integers(min_value=4, max_value=7))
+    columns = draw(st.integers(min_value=4, max_value=7))
+    network = grid_network(rows, columns, weight_jitter=0.4, seed=seed)
+    vertices = network.vertices()
+
+    vehicle_count = draw(st.integers(min_value=1, max_value=8))
+    locations = [rng.choice(vertices) for _ in range(vehicle_count)]
+    grid_rows = draw(st.integers(min_value=2, max_value=4))
+    fleet = build_fleet(network, locations, capacity=4, grid_rows=grid_rows, grid_columns=grid_rows)
+
+    # Pre-assign a few requests so non-empty vehicles (kinetic trees) exist.
+    preassigned = draw(st.integers(min_value=0, max_value=3))
+    for index in range(preassigned):
+        vehicle_id = f"c{rng.randint(1, vehicle_count)}"
+        start, destination = rng.sample(vertices, 2)
+        request = Request(
+            start=start, destination=destination, riders=rng.randint(1, 2),
+            max_waiting=6.0, service_constraint=0.6, request_id=f"pre-{seed}-{index}",
+        )
+        try:
+            assign_request(fleet, vehicle_id, request)
+        except AssertionError:
+            continue
+
+    start, destination = rng.sample(vertices, 2)
+    probe = Request(
+        start=start, destination=destination, riders=rng.randint(1, 3),
+        max_waiting=6.0, service_constraint=0.6, request_id=f"probe-{seed}",
+    )
+    max_pickup = draw(st.sampled_from([None, 4.0, 8.0]))
+    config = SystemConfig(max_waiting=6.0, service_constraint=0.6, max_pickup_distance=max_pickup)
+    return fleet, probe, config
+
+
+@given(fleet_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_single_side_equals_naive(scenario):
+    fleet, probe, config = scenario
+    naive = NaiveKineticTreeMatcher(fleet, config=config)
+    single = SingleSideSearchMatcher(fleet, config=config)
+    assert option_points(single.match(probe)) == option_points(naive.match(probe))
+
+
+@given(fleet_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_dual_side_equals_naive(scenario):
+    fleet, probe, config = scenario
+    naive = NaiveKineticTreeMatcher(fleet, config=config)
+    dual = DualSideSearchMatcher(fleet, config=config)
+    assert option_points(dual.match(probe)) == option_points(naive.match(probe))
+
+
+@given(fleet_scenarios())
+@settings(max_examples=25, deadline=None)
+def test_optimised_matchers_never_do_more_verification_work(scenario):
+    fleet, probe, config = scenario
+    naive = NaiveKineticTreeMatcher(fleet, config=config)
+    single = SingleSideSearchMatcher(fleet, config=config)
+    dual = DualSideSearchMatcher(fleet, config=config)
+    naive.match(probe)
+    single.match(probe)
+    dual.match(probe)
+    assert single.statistics.vehicles_evaluated <= naive.statistics.vehicles_evaluated
+    assert dual.statistics.vehicles_evaluated <= single.statistics.vehicles_evaluated

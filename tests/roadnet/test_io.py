@@ -1,0 +1,76 @@
+"""Unit tests for road-network persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidNetworkError
+from repro.roadnet.generators import figure1_network, grid_network
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.io import (
+    load_edge_list,
+    load_json,
+    network_from_dict,
+    network_to_dict,
+    save_edge_list,
+    save_json,
+)
+
+
+def networks_equal(a: RoadNetwork, b: RoadNetwork) -> bool:
+    if sorted(a.vertices()) != sorted(b.vertices()):
+        return False
+    edges_a = {(e.key(), e.weight) for e in a.edges()}
+    edges_b = {(e.key(), e.weight) for e in b.edges()}
+    return edges_a == edges_b
+
+
+class TestEdgeList:
+    def test_round_trip_with_coordinates(self, tmp_path):
+        network = figure1_network()
+        path = tmp_path / "net.edges"
+        save_edge_list(network, path)
+        loaded = load_edge_list(path)
+        assert networks_equal(network, loaded)
+        assert loaded.coordinate(1).as_tuple() == network.coordinate(1).as_tuple()
+
+    def test_round_trip_without_coordinates(self, tmp_path):
+        network = RoadNetwork.from_edges([(1, 2, 1.5), (2, 3, 2.5)])
+        path = tmp_path / "bare.edges"
+        save_edge_list(network, path)
+        loaded = load_edge_list(path)
+        assert networks_equal(network, loaded)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2\n", encoding="utf-8")
+        with pytest.raises(InvalidNetworkError):
+            load_edge_list(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "sparse.edges"
+        path.write_text("\n1 2 1.0\n\n2 3 2.0\n", encoding="utf-8")
+        loaded = load_edge_list(path)
+        assert loaded.edge_count == 2
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path):
+        network = grid_network(4, 4, weight_jitter=0.3, seed=2)
+        path = tmp_path / "net.json"
+        save_json(network, path)
+        loaded = load_json(path)
+        assert networks_equal(network, loaded)
+        assert loaded.coordinate(7).as_tuple() == network.coordinate(7).as_tuple()
+
+    def test_dict_round_trip(self):
+        network = figure1_network()
+        rebuilt = network_from_dict(network_to_dict(network))
+        assert networks_equal(network, rebuilt)
+
+    def test_dict_without_coordinates(self):
+        network = RoadNetwork.from_edges([(1, 2, 1.0)])
+        payload = network_to_dict(network)
+        assert payload["coordinates"] == {}
+        rebuilt = network_from_dict(payload)
+        assert networks_equal(network, rebuilt)

@@ -1,0 +1,171 @@
+"""Unit tests for the in-memory PTRider service (smartphone + website flows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError, ServiceError, UnknownOptionError
+from repro.model.request import Request
+from repro.roadnet.generators import figure1_network
+from repro.service.api import MATCHER_REGISTRY, PTRiderService, build_system
+from repro.vehicles.fleet import Fleet
+from repro.vehicles.vehicle import Vehicle
+from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.shortest_path import DistanceOracle
+
+from tests.conftest import assign_request
+
+
+@pytest.fixture
+def paper_service() -> PTRiderService:
+    """A service running the Fig. 1 scenario (c1 busy with R1, c2 empty at v13)."""
+    network = figure1_network()
+    grid = GridIndex(network, rows=4, columns=4)
+    fleet = Fleet(grid, DistanceOracle(network))
+    fleet.add_vehicle(Vehicle("c1", location=1, capacity=4))
+    fleet.add_vehicle(Vehicle("c2", location=13, capacity=4))
+    r1 = Request(start=2, destination=16, riders=2, max_waiting=5.0, service_constraint=0.2, request_id="R1")
+    assign_request(fleet, "c1", r1, planned_pickup_distance=8.0)
+    config = SystemConfig(max_waiting=5.0, service_constraint=0.2)
+    return PTRiderService(fleet, config=config, seed=1)
+
+
+class TestSmartphoneFlow:
+    def test_book_returns_paper_options(self, paper_service):
+        booking = paper_service.book(start=12, destination=17, riders=2)
+        assert booking.option_count == 2
+        points = sorted((round(o.pickup_distance, 3), round(o.price, 3)) for o in booking.options)
+        assert points == [(8.0, 8.8), (14.0, 4.0)]
+        assert booking.is_open
+        assert booking.response_seconds >= 0.0
+
+    def test_choose_commits_to_vehicle(self, paper_service):
+        booking = paper_service.book(start=12, destination=17, riders=2)
+        cheapest_index = min(range(len(booking.options)), key=lambda i: booking.options[i].price)
+        option = paper_service.choose(booking.booking_id, cheapest_index)
+        assert option.vehicle_id == "c1"
+        assert not paper_service.booking(booking.booking_id).is_open
+        vehicle = paper_service.fleet.get("c1")
+        assert vehicle.has_request(booking.request.request_id)
+
+    def test_choose_invalid_index(self, paper_service):
+        booking = paper_service.book(start=12, destination=17, riders=2)
+        with pytest.raises(UnknownOptionError):
+            paper_service.choose(booking.booking_id, 99)
+
+    def test_choose_twice_rejected(self, paper_service):
+        booking = paper_service.book(start=12, destination=17, riders=2)
+        paper_service.choose(booking.booking_id, 0)
+        with pytest.raises(UnknownOptionError):
+            paper_service.choose(booking.booking_id, 1)
+
+    def test_cancel_open_booking(self, paper_service):
+        booking = paper_service.book(start=12, destination=17, riders=2)
+        paper_service.cancel(booking.booking_id)
+        with pytest.raises(ServiceError):
+            paper_service.booking(booking.booking_id)
+        assert paper_service.statistics()["unmatched"] == 1.0
+
+    def test_cancel_confirmed_booking_rejected(self, paper_service):
+        booking = paper_service.book(start=12, destination=17, riders=2)
+        paper_service.choose(booking.booking_id, 0)
+        with pytest.raises(ServiceError):
+            paper_service.cancel(booking.booking_id)
+
+    def test_unknown_booking(self, paper_service):
+        with pytest.raises(ServiceError):
+            paper_service.options("nope")
+
+    def test_submit_applies_global_constraints(self, paper_service):
+        request = Request(start=12, destination=17, riders=2, max_waiting=500.0, service_constraint=7.0)
+        options = paper_service.submit(request)
+        assert options  # the normalised constraints (w=5, eps=0.2) still allow both vehicles
+
+
+class TestTimeAndDelivery:
+    def test_advance_delivers_the_rider(self, paper_service):
+        booking = paper_service.book(start=12, destination=17, riders=2)
+        fastest_index = min(
+            range(len(booking.options)), key=lambda i: booking.options[i].pickup_distance
+        )
+        option = paper_service.choose(booking.booking_id, fastest_index)
+        assert option.vehicle_id == "c2"
+        paper_service.advance(40.0)
+        stats = paper_service.statistics()
+        assert stats["pickups"] >= 1.0
+        assert stats["dropoffs"] >= 1.0
+        assert paper_service.current_time == pytest.approx(40.0)
+
+    def test_advance_rejects_negative(self, paper_service):
+        with pytest.raises(ServiceError):
+            paper_service.advance(-1.0)
+
+
+class TestWebsiteInterface:
+    def test_vehicle_schedules_lists_branches(self, paper_service):
+        schedules = paper_service.vehicle_schedules("c1")
+        assert schedules == [[(2, "pickup", "R1"), (16, "dropoff", "R1")]]
+        assert paper_service.vehicle_schedules("c2") == []
+
+    def test_unfinished_requests(self, paper_service):
+        assert paper_service.unfinished_requests_of("c1") == ["R1"]
+        assert paper_service.unfinished_requests_of("c2") == []
+
+    def test_vehicle_ids(self, paper_service):
+        assert set(paper_service.vehicle_ids()) == {"c1", "c2"}
+
+    def test_statistics_panel_keys(self, paper_service):
+        stats = paper_service.statistics()
+        for key in ("current_time", "average_response_time", "sharing_rate",
+                    "matcher_vehicles_evaluated", "fleet_vehicles"):
+            assert key in stats
+
+    def test_set_parameters_updates_config(self, paper_service):
+        config = paper_service.set_parameters(max_waiting=9.0, service_constraint=0.5,
+                                              vehicle_capacity=6, max_pickup_distance=20.0)
+        assert config.max_waiting == 9.0
+        assert config.service_constraint == 0.5
+        assert config.vehicle_capacity == 6
+        assert paper_service.config.max_pickup_distance == 20.0
+
+    def test_set_parameters_switches_matcher(self, paper_service):
+        paper_service.set_parameters(matcher_name="dual_side")
+        assert paper_service.matcher.name == "dual_side"
+        paper_service.set_parameters(matcher_name="naive")
+        assert paper_service.matcher.name == "naive"
+        booking = paper_service.book(start=12, destination=17, riders=2)
+        assert booking.option_count == 2
+
+    def test_set_parameters_allows_baseline_matchers(self, paper_service):
+        paper_service.set_parameters(matcher_name="nearest")
+        assert paper_service.matcher.name == "nearest"
+        booking = paper_service.book(start=12, destination=17, riders=2)
+        assert booking.option_count == 1
+
+    def test_set_parameters_rejects_unknown_matcher(self, paper_service):
+        with pytest.raises(ConfigurationError):
+            paper_service.set_parameters(matcher_name="teleporter")
+
+
+class TestBuildSystem:
+    def test_build_system_defaults(self):
+        system = build_system(network_rows=6, network_columns=6, vehicles=8, seed=4)
+        assert len(system.fleet) == 8
+        assert system.matcher.name == "single_side"
+        booking = system.book(1, 30, riders=1)
+        assert booking.option_count >= 1
+
+    def test_build_system_respects_capacity_and_config(self):
+        config = SystemConfig(vehicle_capacity=2, matcher_name="dual_side")
+        system = build_system(network_rows=5, network_columns=5, vehicles=3, config=config, seed=4)
+        assert all(vehicle.capacity == 2 for vehicle in system.fleet.vehicles())
+        assert system.matcher.name == "dual_side"
+
+    def test_build_system_deterministic_placement(self):
+        a = build_system(network_rows=5, network_columns=5, vehicles=5, seed=9)
+        b = build_system(network_rows=5, network_columns=5, vehicles=5, seed=9)
+        assert [v.location for v in a.fleet.vehicles()] == [v.location for v in b.fleet.vehicles()]
+
+    def test_registry_covers_all_matchers(self):
+        assert set(MATCHER_REGISTRY) == {"single_side", "dual_side", "naive", "nearest", "sharek", "tshare"}

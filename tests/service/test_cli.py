@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+        assert args.vehicles == 25
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "--vehicles", "10", "--trips", "20", "--matcher", "dual_side"]
+        )
+        assert args.matcher == "dual_side"
+        assert args.trips == 20
+
+    def test_compare_arguments(self):
+        args = build_parser().parse_args(["compare", "--requests", "5"])
+        assert args.requests == 5
+
+    def test_invalid_matcher_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--matcher", "bogus"])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        exit_code = main(["demo", "--vehicles", "8", "--rows", "6", "--columns", "6", "--seed", "3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "non-dominated option" in captured
+        assert "Chose option 0" in captured
+
+    def test_simulate_runs(self, capsys):
+        exit_code = main([
+            "simulate", "--vehicles", "6", "--rows", "6", "--columns", "6",
+            "--trips", "10", "--duration", "60", "--seed", "3",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "average_response_time" in captured
+        assert "sharing_rate" in captured
+
+    def test_compare_runs(self, capsys):
+        exit_code = main([
+            "compare", "--vehicles", "10", "--rows", "6", "--columns", "6",
+            "--requests", "5", "--seed", "3",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "single_side" in captured
+        assert "naive" in captured
+        assert "dual_side" in captured

@@ -1,0 +1,100 @@
+"""Unit tests for the simulation statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.stats import SimulationStatistics, summarise
+
+
+class TestSummarise:
+    def test_empty(self):
+        summary = summarise([])
+        assert summary["count"] == 0.0
+        assert summary["mean"] == 0.0
+
+    def test_single_value(self):
+        summary = summarise([3.0])
+        assert summary["mean"] == 3.0
+        assert summary["median"] == 3.0
+        assert summary["p95"] == 3.0
+
+    def test_statistics(self):
+        values = [float(v) for v in range(1, 11)]
+        summary = summarise(values)
+        assert summary["count"] == 10.0
+        assert summary["mean"] == pytest.approx(5.5)
+        assert summary["median"] == pytest.approx(5.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert 9.0 <= summary["p95"] <= 10.0
+
+
+class TestLifecycleRecording:
+    def make_stats(self) -> SimulationStatistics:
+        stats = SimulationStatistics()
+        stats.record_submission("R1", 0.0, option_count=3, response_seconds=0.01, matched=True,
+                                planned_pickup_distance=5.0, direct_distance=10.0)
+        stats.record_submission("R2", 1.0, option_count=0, response_seconds=0.02, matched=False)
+        stats.record_submission("R3", 2.0, option_count=2, response_seconds=0.03, matched=True,
+                                planned_pickup_distance=4.0, direct_distance=8.0)
+        return stats
+
+    def test_submission_counters(self):
+        stats = self.make_stats()
+        assert stats.total_requests == 3
+        assert stats.matched_requests == 2
+        assert stats.unmatched_requests == 1
+        assert stats.match_rate == pytest.approx(2 / 3)
+        assert stats.average_option_count == pytest.approx((3 + 0 + 2) / 3)
+        assert stats.average_response_time == pytest.approx(0.02)
+
+    def test_pickup_records_waiting(self):
+        stats = self.make_stats()
+        stats.record_pickup("R1", time=10.0, actual_pickup_distance=7.0)
+        assert stats.pickups == 1
+        assert stats.waiting_distances == [pytest.approx(2.0)]
+
+    def test_pickup_before_planned_clamps_to_zero(self):
+        stats = self.make_stats()
+        stats.record_pickup("R1", time=10.0, actual_pickup_distance=3.0)
+        assert stats.waiting_distances == [pytest.approx(0.0)]
+
+    def test_pickup_of_unknown_request_is_ignored(self):
+        stats = self.make_stats()
+        stats.record_pickup("ghost", time=5.0, actual_pickup_distance=1.0)
+        assert stats.pickups == 1
+        assert stats.waiting_distances == []
+
+    def test_dropoff_and_detour(self):
+        stats = self.make_stats()
+        stats.record_pickup("R1", 10.0, 5.0)
+        stats.record_dropoff("R1", 30.0, travelled_distance=11.0)
+        assert stats.completed_requests == 1
+        assert stats.detour_ratios == [pytest.approx(1.1)]
+        assert stats.average_detour_ratio == pytest.approx(1.1)
+
+    def test_sharing_rate(self):
+        stats = self.make_stats()
+        stats.record_shared("R1")
+        stats.record_pickup("R1", 10.0, 5.0)
+        stats.record_dropoff("R1", 30.0, 11.0)
+        stats.record_pickup("R3", 12.0, 4.0)
+        stats.record_dropoff("R3", 25.0, 8.0)
+        assert stats.shared_requests == 1
+        assert stats.completed_requests == 2
+        assert stats.sharing_rate == pytest.approx(0.5)
+
+    def test_sharing_rate_empty(self):
+        assert SimulationStatistics().sharing_rate == 0.0
+        assert SimulationStatistics().match_rate == 0.0
+        assert SimulationStatistics().average_response_time == 0.0
+        assert SimulationStatistics().average_option_count == 0.0
+        assert SimulationStatistics().average_detour_ratio == 0.0
+
+    def test_panel_keys(self):
+        stats = self.make_stats()
+        panel = stats.panel()
+        for key in ("requests", "matched", "match_rate", "average_response_time",
+                    "average_options", "sharing_rate", "p95_response_time"):
+            assert key in panel

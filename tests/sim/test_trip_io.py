@@ -1,0 +1,88 @@
+"""Unit tests for trip-dataset persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.roadnet.generators import grid_network
+from repro.sim.trip_io import (
+    load_trips_csv,
+    load_trips_json,
+    load_trips_metadata,
+    save_trips_csv,
+    save_trips_json,
+)
+from repro.sim.trips import ShanghaiLikeTripGenerator, TripRecord
+
+
+@pytest.fixture
+def trips():
+    network = grid_network(6, 6, seed=1)
+    return ShanghaiLikeTripGenerator(network, seed=5).generate(25)
+
+
+def trips_equal(a, b):
+    return [
+        (t.trip_id, t.origin, t.destination, t.riders, t.departure_time) for t in a
+    ] == [(t.trip_id, t.origin, t.destination, t.riders, t.departure_time) for t in b]
+
+
+class TestCsv:
+    def test_round_trip(self, trips, tmp_path):
+        path = tmp_path / "trips.csv"
+        save_trips_csv(trips, path)
+        assert trips_equal(load_trips_csv(path), trips)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2,3,4,5\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_trips_csv(path)
+
+    def test_malformed_row_rejected(self, trips, tmp_path):
+        path = tmp_path / "bad2.csv"
+        save_trips_csv(trips[:1], path)
+        path.write_text(path.read_text(encoding="utf-8") + "T99,1,2\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_trips_csv(path)
+
+    def test_empty_dataset(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_trips_csv([], path)
+        assert load_trips_csv(path) == []
+
+
+class TestJson:
+    def test_round_trip_with_metadata(self, trips, tmp_path):
+        path = tmp_path / "trips.json"
+        save_trips_json(trips, path, metadata={"seed": 5, "generator": "shanghai-like"})
+        assert trips_equal(load_trips_json(path), trips)
+        metadata = load_trips_metadata(path)
+        assert metadata == {"seed": 5, "generator": "shanghai-like"}
+
+    def test_metadata_defaults_to_empty(self, trips, tmp_path):
+        path = tmp_path / "plain.json"
+        save_trips_json(trips[:3], path)
+        assert load_trips_metadata(path) == {}
+
+    def test_loaded_records_validate(self, tmp_path):
+        path = tmp_path / "invalid.json"
+        save_trips_json([TripRecord("T1", 1, 2, 1, 0.0)], path)
+        text = path.read_text(encoding="utf-8").replace('"destination": 2', '"destination": 1')
+        path.write_text(text, encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_trips_json(path)
+
+
+class TestWorkloadIntegration:
+    def test_archived_dataset_reproduces_the_same_workload(self, trips, tmp_path):
+        from repro.sim.workload import RequestWorkload
+
+        path = tmp_path / "day.json"
+        save_trips_json(trips, path)
+        original = RequestWorkload.from_trips(trips, max_waiting=5.0, service_constraint=0.2)
+        replayed = RequestWorkload.from_trips(load_trips_json(path), max_waiting=5.0, service_constraint=0.2)
+        assert [(r.start, r.destination, r.submit_time) for r in original] == [
+            (r.start, r.destination, r.submit_time) for r in replayed
+        ]

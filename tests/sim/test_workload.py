@@ -1,0 +1,133 @@
+"""Unit tests for request workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.roadnet.generators import grid_network
+from repro.sim.trips import ShanghaiLikeTripGenerator
+from repro.sim.workload import (
+    RequestWorkload,
+    poisson_arrival_times,
+    random_requests,
+    requests_from_trips,
+)
+
+
+@pytest.fixture
+def network():
+    return grid_network(8, 8, seed=1)
+
+
+class TestPoissonArrivals:
+    def test_times_within_window_and_sorted(self):
+        times = poisson_arrival_times(0.5, 200.0, random.Random(1))
+        assert all(0 <= t <= 200.0 for t in times)
+        assert times == sorted(times)
+
+    def test_rate_controls_count(self):
+        rng = random.Random(2)
+        sparse = poisson_arrival_times(0.1, 1000.0, rng)
+        rng = random.Random(2)
+        dense = poisson_arrival_times(1.0, 1000.0, rng)
+        assert len(dense) > len(sparse)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrival_times(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            poisson_arrival_times(1.0, -1.0)
+
+
+class TestRequestsFromTrips:
+    def test_conversion_preserves_fields(self, network):
+        trips = ShanghaiLikeTripGenerator(network, seed=3).generate(20)
+        requests = requests_from_trips(trips, max_waiting=5.0, service_constraint=0.3)
+        assert len(requests) == 20
+        for trip, request in zip(trips, requests):
+            assert request.start == trip.origin
+            assert request.destination == trip.destination
+            assert request.riders == trip.riders
+            assert request.submit_time == trip.departure_time
+            assert request.max_waiting == 5.0
+            assert request.service_constraint == 0.3
+
+
+class TestRandomRequests:
+    def test_count_and_determinism(self, network):
+        a = random_requests(network, 15, 5.0, 0.2, seed=4)
+        b = random_requests(network, 15, 5.0, 0.2, seed=4)
+        assert len(a) == 15
+        assert [(r.start, r.destination) for r in a] == [(r.start, r.destination) for r in b]
+
+    def test_burst_when_duration_zero(self, network):
+        requests = random_requests(network, 5, 5.0, 0.2, duration=0.0, seed=4)
+        assert all(request.submit_time == 0.0 for request in requests)
+
+    def test_spread_when_duration_positive(self, network):
+        requests = random_requests(network, 30, 5.0, 0.2, duration=100.0, seed=4)
+        times = [request.submit_time for request in requests]
+        assert times == sorted(times)
+        assert max(times) > 0.0
+
+    def test_rider_range(self, network):
+        requests = random_requests(network, 30, 5.0, 0.2, riders_range=(2, 3), seed=4)
+        assert all(2 <= request.riders <= 3 for request in requests)
+
+    def test_invalid_parameters(self, network):
+        with pytest.raises(ConfigurationError):
+            random_requests(network, -1, 5.0, 0.2)
+        with pytest.raises(ConfigurationError):
+            random_requests(network, 5, 5.0, 0.2, riders_range=(0, 2))
+
+
+class TestRequestWorkload:
+    def test_sorted_on_construction(self, network):
+        requests = random_requests(network, 10, 5.0, 0.2, duration=50.0, seed=5)
+        shuffled = list(reversed(requests))
+        workload = RequestWorkload(shuffled)
+        times = [request.submit_time for request in workload]
+        assert times == sorted(times)
+        assert len(workload) == 10
+
+    def test_due_releases_in_order(self, network):
+        requests = random_requests(network, 10, 5.0, 0.2, duration=100.0, seed=6)
+        workload = RequestWorkload(requests)
+        first_half = workload.due(50.0)
+        assert all(request.submit_time <= 50.0 for request in first_half)
+        rest = workload.due(1_000.0)
+        assert len(first_half) + len(rest) == 10
+        assert workload.remaining == 0
+
+    def test_due_is_monotone(self, network):
+        workload = RequestWorkload(random_requests(network, 10, 5.0, 0.2, duration=100.0, seed=7))
+        workload.due(40.0)
+        again = workload.due(40.0)
+        assert again == []
+
+    def test_reset(self, network):
+        workload = RequestWorkload(random_requests(network, 5, 5.0, 0.2, duration=10.0, seed=8))
+        workload.due(1_000.0)
+        workload.reset()
+        assert workload.remaining == 5
+
+    def test_duration(self, network):
+        workload = RequestWorkload(random_requests(network, 5, 5.0, 0.2, duration=80.0, seed=9))
+        assert workload.duration == max(request.submit_time for request in workload)
+        assert RequestWorkload([]).duration == 0.0
+
+    def test_from_trips(self, network):
+        trips = ShanghaiLikeTripGenerator(network, seed=1).generate(12)
+        workload = RequestWorkload.from_trips(trips, max_waiting=4.0, service_constraint=0.25)
+        assert len(workload) == 12
+        assert all(request.max_waiting == 4.0 for request in workload)
+
+    def test_poisson_constructor(self, network):
+        workload = RequestWorkload.poisson(
+            network, rate_per_second=0.2, duration=100.0, max_waiting=5.0, service_constraint=0.2, seed=11
+        )
+        assert all(request.submit_time <= 100.0 for request in workload)
+        assert all(request.start != request.destination for request in workload)
