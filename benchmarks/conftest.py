@@ -7,3 +7,30 @@ from pathlib import Path
 
 # Make `import common` work regardless of the invocation directory.
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.roadnet.routing import ROUTING_BACKENDS  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--routing",
+        choices=ROUTING_BACKENDS,
+        default=None,
+        help="routing backend every experiment builds its city with",
+    )
+
+
+def pytest_configure(config):
+    import common
+
+    backend = config.getoption("--routing", default=None)
+    if backend:
+        common.DEFAULT_ROUTING = backend
+
+
+def pytest_sessionfinish(session, exitstatus):
+    import common
+
+    target = common.write_results()
+    if target is not None:
+        print(f"\nbenchmark records written to {target}")

@@ -4,7 +4,8 @@ This package reproduces *PTRider: A Price-and-Time-Aware Ridesharing System*
 (Chen, Gao, Liu, Xiao, Jensen, Zhu; PVLDB 11(12), 2018) as a pure-Python
 library:
 
-* :mod:`repro.roadnet` -- the road network, shortest paths and the grid index;
+* :mod:`repro.roadnet` -- the road network, shortest paths, the pluggable
+  routing engines (dict / CSR / CSR+ALT) and the grid index;
 * :mod:`repro.model` -- requests, ride options, dominance and skylines;
 * :mod:`repro.vehicles` -- vehicles, kinetic trees, the fleet index, motion;
 * :mod:`repro.core` -- the price model, the naive / single-side / dual-side
@@ -27,6 +28,7 @@ Quickstart::
 """
 
 from repro.core.config import SystemConfig
+from repro.core.context import MatchContext
 from repro.core.dispatcher import Dispatcher, DispatchOutcome, OptionPolicy
 from repro.core.dual_side import DualSideSearchMatcher
 from repro.core.matcher import Matcher
@@ -39,6 +41,13 @@ from repro.model.stops import Stop, StopKind
 from repro.roadnet.generators import figure1_network, grid_network, random_geometric_network
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.routing import (
+    ROUTING_BACKENDS,
+    CSREngine,
+    DictDijkstraEngine,
+    RoutingEngine,
+    make_engine,
+)
 from repro.roadnet.shortest_path import DistanceOracle
 from repro.service.api import PTRiderService, build_system
 from repro.vehicles.fleet import Fleet
@@ -48,6 +57,8 @@ from repro.vehicles.vehicle import Vehicle
 __version__ = "1.0.0"
 
 __all__ = [
+    "CSREngine",
+    "DictDijkstraEngine",
     "Dispatcher",
     "DispatchOutcome",
     "DistanceOracle",
@@ -56,13 +67,16 @@ __all__ = [
     "GridIndex",
     "KineticTree",
     "LinearPriceModel",
+    "MatchContext",
     "Matcher",
     "NaiveKineticTreeMatcher",
     "OptionPolicy",
     "PTRiderService",
+    "ROUTING_BACKENDS",
     "Request",
     "RideOption",
     "RoadNetwork",
+    "RoutingEngine",
     "SingleSideSearchMatcher",
     "Skyline",
     "Stop",
@@ -73,6 +87,7 @@ __all__ = [
     "dominates",
     "figure1_network",
     "grid_network",
+    "make_engine",
     "random_geometric_network",
     "rider_price_ratio",
     "skyline_of",

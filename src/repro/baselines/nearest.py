@@ -16,9 +16,9 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.core.context import MatchContext
 from repro.core.matcher import Matcher
 from repro.model.options import RideOption
-from repro.model.request import Request
 
 __all__ = ["NearestVehicleMatcher"]
 
@@ -28,11 +28,11 @@ class NearestVehicleMatcher(Matcher):
 
     name = "nearest"
 
-    def _collect_options(self, request: Request) -> List[RideOption]:
+    def _collect_options(self, context: MatchContext) -> List[RideOption]:
         best: RideOption | None = None
         for vehicle in self._fleet.vehicles():
             self.statistics.vehicles_considered += 1
-            for option in self._verify_vehicle(vehicle, request):
+            for option in self._verify_vehicle(vehicle, context):
                 if best is None or (option.added_distance, option.pickup_distance) < (
                     best.added_distance,
                     best.pickup_distance,

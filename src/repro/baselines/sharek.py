@@ -22,9 +22,9 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.core.context import MatchContext
 from repro.core.matcher import Matcher
 from repro.model.options import RideOption, Skyline
-from repro.model.request import Request
 from repro.vehicles.vehicle import Vehicle
 
 __all__ = ["SharekStyleMatcher"]
@@ -35,8 +35,8 @@ class SharekStyleMatcher(Matcher):
 
     name = "sharek"
 
-    def _collect_options(self, request: Request) -> List[RideOption]:
-        direct = self._oracle.distance(request.start, request.destination)
+    def _collect_options(self, context: MatchContext) -> List[RideOption]:
+        request, direct = context.request, context.direct
         network = self._grid.network
         max_pickup = self._config.max_pickup_distance
         skyline = Skyline()
@@ -58,7 +58,7 @@ class SharekStyleMatcher(Matcher):
             if skyline.would_be_dominated(euclidean_lb, price_lb):
                 self.statistics.vehicles_pruned += 1
                 continue
-            skyline.extend(self._verify_vehicle(vehicle, request, use_bound_rejection=False))
+            skyline.extend(self._verify_vehicle(vehicle, context, use_bound_rejection=False))
         return skyline.options()
 
     @staticmethod

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
+from repro.core.context import MatchContext
 from repro.core.matcher import Matcher
 from repro.model.options import RideOption
-from repro.model.request import Request
 
 __all__ = ["TShareStyleMatcher"]
 
@@ -29,7 +29,8 @@ class TShareStyleMatcher(Matcher):
 
     name = "tshare"
 
-    def _collect_options(self, request: Request) -> List[RideOption]:
+    def _collect_options(self, context: MatchContext) -> List[RideOption]:
+        request = context.request
         start_cell = self._grid.cell_of_vertex(request.start).cell_id
         start_min = self._grid.vertex_min(request.start)
         max_pickup = self._config.max_pickup_distance
@@ -50,14 +51,14 @@ class TShareStyleMatcher(Matcher):
                     continue
                 seen.add(vehicle.vehicle_id)
                 self.statistics.vehicles_considered += 1
-                pickup_lb = self._pickup_lower_bound(vehicle, request)
+                pickup_lb = self._pickup_lower_bound(vehicle, context)
                 if best is not None and pickup_lb >= best.pickup_distance:
                     self.statistics.vehicles_pruned += 1
                     continue
                 if max_pickup is not None and pickup_lb > max_pickup + 1e-9:
                     self.statistics.vehicles_pruned += 1
                     continue
-                for option in self._verify_vehicle(vehicle, request):
+                for option in self._verify_vehicle(vehicle, context):
                     if best is None or option.pickup_distance < best.pickup_distance:
                         best = option
         return [best] if best is not None else []

@@ -33,7 +33,7 @@ from repro.core.single_side import SingleSideSearchMatcher
 from repro.model.request import Request
 from repro.roadnet.generators import grid_network
 from repro.roadnet.grid_index import GridIndex
-from repro.roadnet.shortest_path import DistanceOracle
+from repro.roadnet.routing import ROUTING_BACKENDS, make_engine
 from repro.service.api import build_system
 from repro.sim.engine import SimulationEngine
 from repro.sim.trips import ShanghaiLikeTripGenerator
@@ -58,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--columns", type=int, default=12, help="road-network columns")
     demo.add_argument("--riders", type=int, default=2, help="riders in the group")
     demo.add_argument("--seed", type=int, default=7, help="random seed")
+    demo.add_argument(
+        "--routing", choices=ROUTING_BACKENDS, default="dict", help="routing backend"
+    )
 
     simulate = subparsers.add_parser("simulate", help="run a workload simulation")
     simulate.add_argument("--vehicles", type=int, default=40, help="fleet size")
@@ -69,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--matcher", choices=("single_side", "dual_side", "naive"), default="single_side"
     )
     simulate.add_argument("--seed", type=int, default=7, help="random seed")
+    simulate.add_argument(
+        "--routing", choices=ROUTING_BACKENDS, default="dict", help="routing backend"
+    )
 
     compare = subparsers.add_parser("compare", help="compare matcher work on one request burst")
     compare.add_argument("--vehicles", type=int, default=60, help="fleet size")
@@ -76,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--columns", type=int, default=15, help="road-network columns")
     compare.add_argument("--requests", type=int, default=30, help="requests in the burst")
     compare.add_argument("--seed", type=int, default=7, help="random seed")
+    compare.add_argument(
+        "--routing", choices=ROUTING_BACKENDS, default="dict", help="routing backend"
+    )
     return parser
 
 
@@ -96,6 +105,7 @@ def _run_demo(args: argparse.Namespace) -> int:
         network_columns=args.columns,
         vehicles=args.vehicles,
         seed=args.seed,
+        routing=args.routing,
     )
     rng = random.Random(args.seed)
     vertices = system.fleet.grid.network.vertices()
@@ -122,12 +132,15 @@ def _run_demo(args: argparse.Namespace) -> int:
 def _run_simulate(args: argparse.Namespace) -> int:
     network = grid_network(args.rows, args.columns, weight_jitter=0.25, seed=args.seed)
     grid = GridIndex(network, rows=8, columns=8)
-    fleet = Fleet(grid, DistanceOracle(network))
+    fleet = Fleet(grid, make_engine(network, args.routing))
     rng = random.Random(args.seed)
     vertices = network.vertices()
     for index in range(args.vehicles):
         fleet.add_vehicle(Vehicle(f"c{index + 1}", location=rng.choice(vertices), capacity=4))
-    config = SystemConfig(max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0)
+    config = SystemConfig(
+        max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0,
+        routing_backend=args.routing,
+    )
     matcher = {
         "single_side": SingleSideSearchMatcher,
         "dual_side": DualSideSearchMatcher,
@@ -139,7 +152,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
     workload = RequestWorkload.from_trips(trips, config.max_waiting, config.service_constraint)
     engine = SimulationEngine(dispatcher, workload, speed=1.0, tick=1.0, seed=args.seed)
     report = engine.run(until=args.duration + 50.0)
-    print(f"Matcher: {matcher.name}")
+    print(f"Matcher: {matcher.name} (routing={args.routing})")
     for key, value in sorted(report.panel().items()):
         print(f"  {key:>25}: {value:.4f}")
     return 0
@@ -150,12 +163,15 @@ def _run_compare(args: argparse.Namespace) -> int:
     for matcher_class in (NaiveKineticTreeMatcher, SingleSideSearchMatcher, DualSideSearchMatcher):
         network = grid_network(args.rows, args.columns, weight_jitter=0.25, seed=args.seed)
         grid = GridIndex(network, rows=8, columns=8)
-        fleet = Fleet(grid, DistanceOracle(network))
+        fleet = Fleet(grid, make_engine(network, args.routing))
         rng = random.Random(args.seed)
         vertices = network.vertices()
         for index in range(args.vehicles):
             fleet.add_vehicle(Vehicle(f"c{index + 1}", location=rng.choice(vertices), capacity=4))
-        config = SystemConfig(max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0)
+        config = SystemConfig(
+            max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0,
+            routing_backend=args.routing,
+        )
         matcher = matcher_class(fleet, config=config)
         dispatcher = Dispatcher(fleet, matcher, config)
         requests = random_requests(

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.core.pricing import LinearPriceModel
 from repro.errors import ConfigurationError
+from repro.roadnet.routing import ROUTING_BACKENDS
 
 __all__ = ["SystemConfig", "DEMO_SPEED_KMH"]
 
@@ -42,6 +43,8 @@ class SystemConfig:
         matcher_name: which matching algorithm the service uses
             ("single_side", "dual_side" or "naive").
         price_model: the price calculator.
+        routing_backend: which routing engine answers shortest-path queries
+            ("dict", "csr" or "csr+alt"; see :mod:`repro.roadnet.routing`).
     """
 
     vehicle_capacity: int = 4
@@ -51,6 +54,7 @@ class SystemConfig:
     max_pickup_distance: Optional[float] = None
     matcher_name: str = "single_side"
     price_model: LinearPriceModel = field(default_factory=LinearPriceModel)
+    routing_backend: str = "dict"
 
     _VALID_MATCHERS = ("single_side", "dual_side", "naive")
 
@@ -72,6 +76,10 @@ class SystemConfig:
         if self.matcher_name not in self._VALID_MATCHERS:
             raise ConfigurationError(
                 f"matcher_name must be one of {self._VALID_MATCHERS}, got {self.matcher_name!r}"
+            )
+        if self.routing_backend not in ROUTING_BACKENDS:
+            raise ConfigurationError(
+                f"routing_backend must be one of {ROUTING_BACKENDS}, got {self.routing_backend!r}"
             )
 
     def with_updates(self, **changes: object) -> "SystemConfig":

@@ -1,0 +1,96 @@
+"""Per-request matching context.
+
+A :class:`MatchContext` is created once at the top of every
+:meth:`repro.core.matcher.Matcher.match` call and threaded through the whole
+verification pipeline.  It pins the resources every candidate-vehicle
+verification shares:
+
+* the (normalised) request itself;
+* the request's direct distance ``dist(s, d)``, computed exactly once;
+* the request-rooted single-source distance tree, held by reference so it can
+  never be evicted from the routing engine's cache mid-match -- this is what
+  eliminates the per-vehicle ``oracle.distance(request.start, ...)`` re-query
+  the matchers used to issue;
+* the combined admissible lower bound (grid cell bounds plus the engine's
+  optional ALT landmark bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import DisconnectedError
+from repro.model.request import Request
+from repro.roadnet.graph import VertexId
+from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.routing import RoutingEngine
+
+__all__ = ["MatchContext"]
+
+
+@dataclass
+class MatchContext:
+    """Everything one ``match`` call shares across its vehicle verifications."""
+
+    request: Request
+    engine: RoutingEngine
+    grid: GridIndex
+    #: exact direct distance ``dist(request.start, request.destination)``
+    direct: float
+    #: the full distance tree rooted at ``request.start`` (shared reference)
+    start_tree: Mapping[VertexId, float]
+
+    @classmethod
+    def create(cls, request: Request, engine: RoutingEngine, grid: GridIndex) -> "MatchContext":
+        """Build the context: one tree computation, one direct-distance lookup.
+
+        Raises:
+            VertexNotFoundError: if the request's endpoints are unknown.
+            DisconnectedError: if the destination is unreachable from the start.
+        """
+        start_tree = engine.distances_from(request.start)
+        if request.start == request.destination:
+            direct = 0.0
+        else:
+            try:
+                direct = start_tree[request.destination]
+            except KeyError:
+                raise DisconnectedError(request.start, request.destination) from None
+        return cls(
+            request=request, engine=engine, grid=grid, direct=direct, start_tree=start_tree
+        )
+
+    def from_start(self, vertex: VertexId) -> float:
+        """Distance from the request start to ``vertex`` (cached tree lookup).
+
+        Raises:
+            DisconnectedError: if ``vertex`` is unreachable from the start.
+        """
+        if vertex == self.request.start:
+            return 0.0
+        try:
+            return self.start_tree[vertex]
+        except KeyError:
+            raise DisconnectedError(self.request.start, vertex) from None
+
+    def distance(self, source: VertexId, target: VertexId) -> float:
+        """Exact distance between two vertices.
+
+        Legs touching the request start are answered from the pinned start
+        tree (the network is undirected), so they stay O(1) even if the
+        engine's tree cache evicts the start entry mid-match; everything else
+        delegates to the engine.
+        """
+        start = self.request.start
+        if source == start:
+            return self.from_start(target)
+        if target == start:
+            return self.from_start(source)
+        return self.engine.distance(source, target)
+
+    def lower_bound(self, source: VertexId, target: VertexId) -> float:
+        """Best admissible lower bound available: grid cells vs ALT landmarks."""
+        bound = self.grid.distance_lower_bound(source, target)
+        engine_bound = self.engine.distance_lower_bound(source, target)
+        return engine_bound if engine_bound > bound else bound

@@ -30,6 +30,7 @@ from repro.errors import MatchingError, NoMatchError, UnknownOptionError
 from repro.model.options import RideOption
 from repro.model.request import Request
 from repro.vehicles.fleet import Fleet
+from repro.vehicles.schedule import evaluate_schedule
 
 __all__ = ["OptionPolicy", "DispatchOutcome", "Dispatcher"]
 
@@ -189,8 +190,6 @@ class Dispatcher:
 
     def _filter_by_promised_pickup(self, vehicle, request, option, schedules):
         """Keep only schedules honouring the promised pick-up within ``w``."""
-        from repro.vehicles.schedule import evaluate_schedule
-
         budget = option.pickup_distance + request.max_waiting + 1e-9
         oracle = self._fleet.oracle
         kept = []

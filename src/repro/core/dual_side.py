@@ -9,21 +9,19 @@ to the destination, so the option is expensive and usually dominated.
 Dual-side search therefore screens every candidate vehicle from **both
 sides**: in addition to the start-side pick-up and price bounds of the
 single-side search, it computes an admissible lower bound on the detour
-needed to reach the *destination* (using grid lower bounds against every
-branch of the vehicle's kinetic tree) and prunes the vehicle when the
-combined optimistic option is already dominated.  The bounds remain
-admissible, so the returned skyline is identical to the single-side and
-naive matchers' (property-tested); only the amount of verification work
-differs.
+needed to reach the *destination* (using the combined grid / ALT lower
+bounds of the :class:`~repro.core.context.MatchContext` against every branch
+of the vehicle's kinetic tree) and prunes the vehicle when the combined
+optimistic option is already dominated.  The bounds remain admissible, so the
+returned skyline is identical to the single-side and naive matchers'
+(property-tested); only the amount of verification work differs.
 """
 
 from __future__ import annotations
 
-from typing import List
-
+from repro.core.context import MatchContext
 from repro.core.matcher import added_distance_lower_bound
 from repro.core.single_side import SingleSideSearchMatcher
-from repro.model.request import Request
 from repro.vehicles.vehicle import Vehicle
 
 __all__ = ["DualSideSearchMatcher"]
@@ -34,7 +32,7 @@ class DualSideSearchMatcher(SingleSideSearchMatcher):
 
     name = "dual_side"
 
-    def _price_lower_bound(self, vehicle: Vehicle, request: Request, direct: float) -> float:
+    def _price_lower_bound(self, vehicle: Vehicle, context: MatchContext) -> float:
         """Tighten the price bound with the detour needed to reach the destination.
 
         The added distance of any schedule serving the request is at least the
@@ -47,10 +45,13 @@ class DualSideSearchMatcher(SingleSideSearchMatcher):
             # For an empty vehicle the start-side bound is already exact in
             # shape (pick-up leg plus direct trip); the destination adds
             # nothing because the trip ends there.
-            return super()._price_lower_bound(vehicle, request, direct)
-        start_side = added_distance_lower_bound(vehicle, request.start, self._grid, self._oracle)
+            return super()._price_lower_bound(vehicle, context)
+        request = context.request
+        start_side = added_distance_lower_bound(
+            vehicle, request.start, self._grid, self._engine, bound=context.lower_bound
+        )
         destination_side = added_distance_lower_bound(
-            vehicle, request.destination, self._grid, self._oracle
+            vehicle, request.destination, self._grid, self._engine, bound=context.lower_bound
         )
         added_lb = max(start_side, destination_side)
-        return self._price_model.price(request.riders, added_lb, direct)
+        return self._price_model.price(request.riders, added_lb, context.direct)

@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.model.request import Request
 from repro.model.stops import Stop, StopKind
 from repro.roadnet.grid_index import GridIndex
-from repro.roadnet.shortest_path import DistanceOracle
+from repro.roadnet.routing import RoutingEngine
 from repro.vehicles.schedule import (
     RequestState,
     check_schedule,
@@ -77,31 +77,42 @@ class InsertionStatistics:
 def insertion_candidates(
     vehicle: Vehicle,
     request: Request,
-    oracle: DistanceOracle,
+    oracle: RoutingEngine,
     grid: Optional[GridIndex] = None,
     statistics: Optional[InsertionStatistics] = None,
+    direct: Optional[float] = None,
+    distance: Optional[Callable[[int, int], float]] = None,
 ) -> List[InsertionCandidate]:
     """Return every feasible insertion of ``request`` into ``vehicle``.
 
     Args:
         vehicle: the candidate vehicle.
         request: the request to insert.
-        oracle: shortest-path oracle (exact distances).
+        oracle: routing engine (exact distances); a bare ``DistanceOracle``
+            works too, only ``.distance`` is used.
         grid: optional grid index; when provided, candidates whose
             lower-bound distances already violate the waiting-time or service
             constraint are rejected without exact evaluation.
         statistics: optional counter object updated in place.
+        direct: the request's direct distance when the caller (a matcher with
+            a :class:`~repro.core.context.MatchContext`) already computed it;
+            recomputed otherwise.
+        distance: exact-distance callable overriding ``oracle.distance``
+            (the matchers pass ``MatchContext.distance`` so start-rooted legs
+            come from the pinned request tree).
 
     Returns:
         Feasible candidates; empty when the vehicle cannot serve the request.
     """
     stats = statistics if statistics is not None else InsertionStatistics()
+    distance_fn = distance if distance is not None else oracle.distance
     if vehicle.has_request(request.request_id):
         # The vehicle already serves this request (or a different request that
         # reuses its identifier); re-inserting it would corrupt the constraint
         # bookkeeping, so the vehicle simply offers nothing.
         return []
-    direct = oracle.distance(request.start, request.destination)
+    if direct is None:
+        direct = distance_fn(request.start, request.destination)
 
     pickup_stop = Stop(
         vertex=request.start,
@@ -136,7 +147,7 @@ def insertion_candidates(
     seen: Dict[Tuple[Stop, ...], None] = {}
 
     for base in base_schedules:
-        base_total = schedule_distance(origin, base, oracle.distance, origin_offset)
+        base_total = schedule_distance(origin, base, distance_fn, origin_offset)
         for candidate in enumerate_insertions(base, pickup_stop, dropoff_stop):
             if candidate in seen:
                 continue
@@ -147,14 +158,14 @@ def insertion_candidates(
             ):
                 stats.candidates_rejected_by_bounds += 1
                 continue
-            metrics = evaluate_schedule(origin, candidate, oracle.distance, origin_offset)
+            metrics = evaluate_schedule(origin, candidate, distance_fn, origin_offset)
             feasibility = check_schedule(
                 origin=origin,
                 stops=candidate,
                 capacity=vehicle.capacity,
                 onboard_riders=onboard_riders,
                 request_states=request_states,
-                distance=oracle.distance,
+                distance=distance_fn,
                 origin_offset=origin_offset,
                 metrics=metrics,
             )
@@ -177,7 +188,7 @@ def insertion_candidates(
 def feasible_schedules_for_commit(
     vehicle: Vehicle,
     request: Request,
-    oracle: DistanceOracle,
+    oracle: RoutingEngine,
     grid: Optional[GridIndex] = None,
 ) -> List[Tuple[Stop, ...]]:
     """Return every feasible new schedule, for installing into the kinetic tree.

@@ -5,10 +5,16 @@ search, and the baselines under :mod:`repro.baselines`) answers the same
 query: given the current fleet state and a request, return the qualified,
 non-dominated ``<vehicle, pick-up distance, price>`` options (Definition 4).
 :class:`Matcher` fixes that interface, owns the shared resources (fleet, grid
-index, distance oracle, price model, system configuration) and provides the
+index, routing engine, price model, system configuration) and provides the
 per-vehicle verification step all algorithms share; subclasses only decide
 *which* vehicles to verify and in what order, and which admissible lower
 bounds justify skipping a vehicle.
+
+Each ``match`` call builds one :class:`~repro.core.context.MatchContext`
+carrying the request, its direct distance and the request-rooted distance
+tree; every per-vehicle step receives that context instead of re-querying the
+routing engine, so the request-side shortest-path work is paid exactly once
+per request regardless of how many vehicles are verified.
 """
 
 from __future__ import annotations
@@ -16,15 +22,16 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.core.config import SystemConfig
+from repro.core.context import MatchContext
 from repro.core.insertion import InsertionStatistics, insertion_candidates
 from repro.core.pricing import LinearPriceModel, PriceModel
 from repro.model.options import RideOption, Skyline, skyline_of
 from repro.model.request import Request
 from repro.roadnet.grid_index import GridIndex
-from repro.roadnet.shortest_path import DistanceOracle
+from repro.roadnet.routing import RoutingEngine
 from repro.vehicles.fleet import Fleet
 from repro.vehicles.vehicle import Vehicle
 
@@ -77,7 +84,7 @@ class Matcher(abc.ABC):
 
     Args:
         fleet: the vehicle index (which also carries the grid index and the
-            shortest-path oracle).
+            routing engine).
         config: global system parameters; defaults to :class:`SystemConfig`.
         price_model: price calculator; defaults to the one in ``config``.
     """
@@ -93,7 +100,7 @@ class Matcher(abc.ABC):
     ) -> None:
         self._fleet = fleet
         self._grid: GridIndex = fleet.grid
-        self._oracle: DistanceOracle = fleet.oracle
+        self._engine: RoutingEngine = fleet.routing_engine
         self._config = config or SystemConfig()
         self._price_model: PriceModel = price_model or self._config.price_model
         self.statistics = MatcherStatistics()
@@ -117,9 +124,18 @@ class Matcher(abc.ABC):
         return self._price_model
 
     @property
-    def oracle(self) -> DistanceOracle:
-        """The shortest-path oracle shared with the fleet."""
-        return self._oracle
+    def engine(self) -> RoutingEngine:
+        """The routing engine shared with the fleet."""
+        return self._engine
+
+    @property
+    def oracle(self) -> RoutingEngine:
+        """Backwards-compatible alias for :attr:`engine`."""
+        return self._engine
+
+    def make_context(self, request: Request) -> MatchContext:
+        """Build the per-request context (direct distance plus start tree)."""
+        return MatchContext.create(request, self._engine, self._grid)
 
     def match(self, request: Request) -> List[RideOption]:
         """Return the non-dominated options answering ``request``.
@@ -128,20 +144,21 @@ class Matcher(abc.ABC):
         :meth:`_collect_options`, sorted by ascending pick-up distance.
         """
         self.statistics.requests_answered += 1
-        options = self._collect_options(request)
+        context = self.make_context(request)
+        options = self._collect_options(context)
         result = skyline_of(options)
         self.statistics.options_returned += len(result)
         return result
 
     @abc.abstractmethod
-    def _collect_options(self, request: Request) -> List[RideOption]:
+    def _collect_options(self, context: MatchContext) -> List[RideOption]:
         """Produce candidate options (subclasses decide which vehicles to verify)."""
 
     # ------------------------------------------------------------------
     # shared verification step
     # ------------------------------------------------------------------
     def _verify_vehicle(
-        self, vehicle: Vehicle, request: Request, use_bound_rejection: bool = True
+        self, vehicle: Vehicle, context: MatchContext, use_bound_rejection: bool = True
     ) -> List[RideOption]:
         """Fully evaluate one vehicle and return its non-dominated options.
 
@@ -152,10 +169,17 @@ class Matcher(abc.ABC):
         """
         self.statistics.vehicles_evaluated += 1
         grid = self._grid if use_bound_rejection else None
+        request = context.request
         candidates = insertion_candidates(
-            vehicle, request, self._oracle, grid=grid, statistics=self.statistics.insertion
+            vehicle,
+            request,
+            self._engine,
+            grid=grid,
+            statistics=self.statistics.insertion,
+            direct=context.direct,
+            distance=context.distance,
         )
-        direct = self._oracle.distance(request.start, request.destination)
+        direct = context.direct
         max_pickup = self._config.max_pickup_distance
         options: List[RideOption] = []
         for candidate in candidates:
@@ -178,11 +202,11 @@ class Matcher(abc.ABC):
     # ------------------------------------------------------------------
     # admissible lower bounds shared by the grid-based searches
     # ------------------------------------------------------------------
-    def _pickup_lower_bound(self, vehicle: Vehicle, request: Request) -> float:
+    def _pickup_lower_bound(self, vehicle: Vehicle, context: MatchContext) -> float:
         """Admissible lower bound on the pick-up distance any option of ``vehicle`` can have."""
-        return self._grid.distance_lower_bound(vehicle.location, request.start) + vehicle.offset
+        return context.lower_bound(vehicle.location, context.request.start) + vehicle.offset
 
-    def _price_lower_bound(self, vehicle: Vehicle, request: Request, direct: float) -> float:
+    def _price_lower_bound(self, vehicle: Vehicle, context: MatchContext) -> float:
         """Admissible lower bound on the price any option of ``vehicle`` can have.
 
         For an empty vehicle the added distance is exactly
@@ -190,44 +214,56 @@ class Matcher(abc.ABC):
         bound only uses the start-side detour.  The dual-side matcher
         overrides this with the destination-side bound as well.
         """
+        request, direct = context.request, context.direct
         if vehicle.is_empty:
-            pickup_lb = self._pickup_lower_bound(vehicle, request)
+            pickup_lb = self._pickup_lower_bound(vehicle, context)
             return self._price_model.price(request.riders, pickup_lb + direct, direct)
-        added_lb = added_distance_lower_bound(vehicle, request.start, self._grid, self._oracle)
+        added_lb = added_distance_lower_bound(
+            vehicle, request.start, self._grid, self._engine, bound=context.lower_bound
+        )
         return self._price_model.price(request.riders, added_lb, direct)
 
 
 def added_distance_lower_bound(
-    vehicle: Vehicle, vertex: int, grid: GridIndex, oracle: DistanceOracle
+    vehicle: Vehicle,
+    vertex: int,
+    grid: GridIndex,
+    oracle: RoutingEngine,
+    bound: Optional[Callable[[int, int], float]] = None,
 ) -> float:
     """Admissible lower bound on the extra distance needed to visit ``vertex``.
 
     For every branch of the vehicle's kinetic tree and every insertion
     position, the added distance of detouring through ``vertex`` is bounded
-    from below using grid lower bounds for the new legs and exact (cached)
-    distances for the replaced leg; the minimum over all positions and
-    branches is an admissible bound for any schedule that additionally visits
-    ``vertex`` -- including schedules that insert several new stops, because
-    dropping the other new stops never increases the added distance.
+    from below using admissible lower bounds for the new legs and exact
+    (cached) distances for the replaced leg; the minimum over all positions
+    and branches is an admissible bound for any schedule that additionally
+    visits ``vertex`` -- including schedules that insert several new stops,
+    because dropping the other new stops never increases the added distance.
+
+    ``bound`` overrides the leg lower bound (defaults to the grid cell bound);
+    the matchers pass :meth:`MatchContext.lower_bound` so ALT landmark bounds
+    tighten the estimate when the routing engine provides them.
     """
+    bound_fn = bound if bound is not None else grid.distance_lower_bound
     schedules = vehicle.kinetic_tree.schedules()
     origin = vehicle.location
     if not schedules:
-        return grid.distance_lower_bound(origin, vertex) + vehicle.offset
+        return bound_fn(origin, vertex) + vehicle.offset
     best = math.inf
     for schedule in schedules:
         previous = origin
         for stop in schedule:
             replaced = oracle.distance(previous, stop.vertex)
             detour = (
-                grid.distance_lower_bound(previous, vertex)
-                + grid.distance_lower_bound(vertex, stop.vertex)
+                bound_fn(previous, vertex)
+                + bound_fn(vertex, stop.vertex)
                 - replaced
             )
             best = min(best, max(0.0, detour))
             previous = stop.vertex
         # appending after the last stop
-        best = min(best, grid.distance_lower_bound(previous, vertex))
+        best = min(best, bound_fn(previous, vertex))
         if best <= 0.0:
             return 0.0
     return best

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.core.context import MatchContext
 from repro.core.matcher import Matcher
 from repro.model.options import RideOption
-from repro.model.request import Request
 
 __all__ = ["NaiveKineticTreeMatcher"]
 
@@ -32,9 +32,9 @@ class NaiveKineticTreeMatcher(Matcher):
 
     name = "naive"
 
-    def _collect_options(self, request: Request) -> List[RideOption]:
+    def _collect_options(self, context: MatchContext) -> List[RideOption]:
         options: List[RideOption] = []
         for vehicle in self._fleet.vehicles():
             self.statistics.vehicles_considered += 1
-            options.extend(self._verify_vehicle(vehicle, request, use_bound_rejection=False))
+            options.extend(self._verify_vehicle(vehicle, context, use_bound_rejection=False))
         return options

@@ -7,14 +7,19 @@ Fig. 1(b)).  Within each cell, the empty-vehicle list and the non-empty
 vehicle list are processed separately:
 
 * every vehicle is first screened with **admissible lower bounds** on the
-  pick-up distance (grid bound on ``dist(c.l, s)``) and on the price (for an
-  empty vehicle the exact form of its added distance, for a non-empty vehicle
-  a start-side detour bound); a vehicle whose optimistic bounds are already
-  dominated by a confirmed option -- or whose pick-up bound exceeds the
-  configured maximum pick-up distance -- is pruned without verification;
+  pick-up distance (grid bound on ``dist(c.l, s)``, tightened by the routing
+  engine's ALT landmark bound when one is configured) and on the price (for
+  an empty vehicle the exact form of its added distance, for a non-empty
+  vehicle a start-side detour bound); a vehicle whose optimistic bounds are
+  already dominated by a confirmed option -- or whose pick-up bound exceeds
+  the configured maximum pick-up distance -- is pruned without verification;
 * surviving vehicles are verified by inserting the request into their kinetic
   tree (with lower-bound short-circuiting inside the insertion, Section 3.3's
   second optimisation).
+
+The request's direct distance and its rooted distance tree live in the
+per-request :class:`~repro.core.context.MatchContext`, so no vehicle
+verification re-issues a request-side shortest-path query.
 
 The cell expansion itself terminates early when the cell-level lower bound
 proves that **no** vehicle registered in the remaining cells can contribute a
@@ -27,9 +32,9 @@ from __future__ import annotations
 import math
 from typing import List, Set
 
+from repro.core.context import MatchContext
 from repro.core.matcher import Matcher
 from repro.model.options import RideOption, Skyline
-from repro.model.request import Request
 from repro.vehicles.vehicle import Vehicle
 
 __all__ = ["SingleSideSearchMatcher"]
@@ -40,8 +45,8 @@ class SingleSideSearchMatcher(Matcher):
 
     name = "single_side"
 
-    def _collect_options(self, request: Request) -> List[RideOption]:
-        direct = self._oracle.distance(request.start, request.destination)
+    def _collect_options(self, context: MatchContext) -> List[RideOption]:
+        request, direct = context.request, context.direct
         start_cell = self._grid.cell_of_vertex(request.start).cell_id
         start_min = self._grid.vertex_min(request.start)
         max_pickup = self._config.max_pickup_distance
@@ -79,9 +84,9 @@ class SingleSideSearchMatcher(Matcher):
 
             if not skip_empty_lists:
                 for vehicle in self._fleet.empty_vehicles_in_cell(cell.cell_id):
-                    self._consider(vehicle, request, direct, max_pickup_value, seen, skyline)
+                    self._consider(vehicle, context, max_pickup_value, seen, skyline)
             for vehicle in self._fleet.nonempty_vehicles_in_cell(cell.cell_id):
-                self._consider(vehicle, request, direct, max_pickup_value, seen, skyline)
+                self._consider(vehicle, context, max_pickup_value, seen, skyline)
 
         return skyline.options()
 
@@ -89,8 +94,7 @@ class SingleSideSearchMatcher(Matcher):
     def _consider(
         self,
         vehicle: Vehicle,
-        request: Request,
-        direct: float,
+        context: MatchContext,
         max_pickup: float,
         seen: Set[str],
         skyline: Skyline,
@@ -101,12 +105,12 @@ class SingleSideSearchMatcher(Matcher):
         seen.add(vehicle.vehicle_id)
         self.statistics.vehicles_considered += 1
 
-        pickup_lb = self._pickup_lower_bound(vehicle, request)
+        pickup_lb = self._pickup_lower_bound(vehicle, context)
         if pickup_lb > max_pickup + 1e-9:
             self.statistics.vehicles_pruned += 1
             return
-        price_lb = self._price_lower_bound(vehicle, request, direct)
+        price_lb = self._price_lower_bound(vehicle, context)
         if skyline.would_be_dominated(pickup_lb, price_lb):
             self.statistics.vehicles_pruned += 1
             return
-        skyline.extend(self._verify_vehicle(vehicle, request))
+        skyline.extend(self._verify_vehicle(vehicle, context))

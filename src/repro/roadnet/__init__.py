@@ -7,6 +7,9 @@ road network:
 * :mod:`repro.roadnet.geometry` -- planar embedding helpers;
 * :mod:`repro.roadnet.shortest_path` -- Dijkstra variants and a memoising
   distance oracle;
+* :mod:`repro.roadnet.routing` -- the pluggable routing engines (the dict
+  Dijkstra reference backend, the CSR array backend and the ALT landmark
+  lower-bound index) every distance/path query goes through;
 * :mod:`repro.roadnet.grid_index` -- the grid partition index of Section 3.2.1
   of the paper (border vertices, ``v.min``, cell-pair lower bounds, sorted
   grid lists, per-cell vehicle lists);
@@ -29,6 +32,16 @@ from repro.roadnet.shortest_path import (
     shortest_path,
     shortest_path_distance,
 )
+from repro.roadnet.routing import (
+    ROUTING_BACKENDS,
+    ALTIndex,
+    CSREngine,
+    CSRGraph,
+    DictDijkstraEngine,
+    RoutingEngine,
+    ensure_engine,
+    make_engine,
+)
 from repro.roadnet.generators import (
     figure1_network,
     grid_network,
@@ -37,9 +50,15 @@ from repro.roadnet.generators import (
 )
 
 __all__ = [
+    "ALTIndex",
     "BoundingBox",
+    "CSREngine",
+    "CSRGraph",
+    "DictDijkstraEngine",
     "DistanceOracle",
     "Edge",
+    "ROUTING_BACKENDS",
+    "RoutingEngine",
     "astar_path",
     "GridCell",
     "GridIndex",
@@ -47,6 +66,8 @@ __all__ = [
     "Point",
     "RoadNetwork",
     "bidirectional_dijkstra",
+    "ensure_engine",
+    "make_engine",
     "bounded_dijkstra",
     "dijkstra_all",
     "euclidean_distance",

@@ -1,0 +1,539 @@
+"""The pluggable routing engine behind every distance and path query.
+
+Every price and pick-up time in PTRider derives from shortest-path distances
+(Section 2.1 of the paper), so the matcher's latency is dominated by how fast
+those queries are answered.  This module introduces a seam between *what* the
+matchers ask (point-to-point distances, request-rooted distance trees, full
+paths) and *how* the answer is computed:
+
+* :class:`DictDijkstraEngine` -- the reference backend; a thin wrapper around
+  the memoising :class:`~repro.roadnet.shortest_path.DistanceOracle`, which
+  runs Dijkstra over the road network's dict-of-dicts adjacency.
+* :class:`CSREngine` -- compiles the :class:`~repro.roadnet.graph.RoadNetwork`
+  into flat CSR adjacency arrays (``indptr`` / ``indices`` / ``weights``) and
+  answers single-source queries with an array-backed Dijkstra over integer
+  vertex indices.  When SciPy is importable the tree computation runs in C
+  via :func:`scipy.sparse.csgraph.dijkstra`; otherwise a pure-Python
+  int-indexed heap Dijkstra over the same arrays is used.
+* :class:`ALTIndex` -- an optional landmark (ALT) lower-bound index: for a set
+  of landmarks ``L`` the triangle inequality gives the admissible bound
+  ``dist(u, v) >= |dist(L, u) - dist(L, v)|``.  The matchers combine it with
+  the grid-index cell bounds, taking the maximum of the two.
+
+Backends are selected by name ("dict", "csr", "csr+alt") through
+:func:`make_engine`; :class:`~repro.core.config.SystemConfig` carries the
+chosen name so the service, the CLI, the simulation engine and the benchmark
+harness can ablate the routing layer without touching the matchers.
+
+Every engine exposes the same interface the matchers used to expect from the
+distance oracle (``distance`` / ``distances_from`` / ``path`` /
+``invalidate`` / ``stats``), so engines and oracles are interchangeable at
+every call site.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, DisconnectedError, VertexNotFoundError
+from repro.roadnet.graph import RoadNetwork, VertexId
+from repro.roadnet.shortest_path import INFINITY, DistanceOracle, PathResult
+
+try:  # SciPy accelerates the CSR backend but is not required for correctness.
+    import numpy as _np
+    from scipy.sparse import csr_array as _csr_array
+    from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    _np = None
+    _csr_array = None
+    _csgraph_dijkstra = None
+
+__all__ = [
+    "ROUTING_BACKENDS",
+    "EngineStats",
+    "RoutingEngine",
+    "DictDijkstraEngine",
+    "CSRGraph",
+    "ALTIndex",
+    "CSREngine",
+    "make_engine",
+    "ensure_engine",
+]
+
+#: Backend names accepted by :func:`make_engine` and ``SystemConfig``.
+ROUTING_BACKENDS = ("dict", "csr", "csr+alt")
+
+#: Default number of ALT landmarks (a handful is enough on city-sized nets).
+DEFAULT_LANDMARKS = 8
+
+
+@dataclass
+class EngineStats:
+    """Work counters every routing engine accumulates.
+
+    The field names match ``DistanceOracle.stats`` so reports and tests can
+    treat oracles and engines uniformly.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    dijkstra_runs: int = 0
+
+
+class RoutingEngine(ABC):
+    """Answers every distance / path query the rest of the system issues.
+
+    Subclasses own whatever representation of the road network they need and
+    are free to cache aggressively; callers must treat returned trees as
+    immutable.
+    """
+
+    #: backend name as selected through ``SystemConfig.routing_backend``
+    backend: str = "abstract"
+
+    @property
+    @abstractmethod
+    def network(self) -> RoadNetwork:
+        """The road network queries are answered on."""
+
+    @abstractmethod
+    def distance(self, source: VertexId, target: VertexId) -> float:
+        """Return ``dist(source, target)``.
+
+        Raises:
+            VertexNotFoundError: if either endpoint is unknown.
+            DisconnectedError: if no path connects the endpoints.
+        """
+
+    @abstractmethod
+    def distances_from(self, source: VertexId) -> Mapping[VertexId, float]:
+        """Return the full single-source distance tree rooted at ``source``.
+
+        The mapping contains every *reachable* vertex; unreachable vertices
+        are absent (lookups raise ``KeyError``).
+        """
+
+    @abstractmethod
+    def path(self, source: VertexId, target: VertexId) -> PathResult:
+        """Return the full shortest path between two vertices."""
+
+    @abstractmethod
+    def invalidate(self) -> None:
+        """Drop every cached structure (call after the network is mutated)."""
+
+    def distance_lower_bound(self, source: VertexId, target: VertexId) -> float:
+        """An admissible lower bound on ``dist(source, target)``.
+
+        The default engine offers no bound (0.0); the ALT-equipped CSR engine
+        overrides this with landmark differences.  Matchers take the maximum
+        of this bound and the grid-index cell bound.
+        """
+        return 0.0
+
+
+class DictDijkstraEngine(RoutingEngine):
+    """The reference backend: dict-of-dicts Dijkstra with a memoising oracle.
+
+    Wraps an existing :class:`DistanceOracle` (or builds one), preserving its
+    caching and statistics semantics exactly.
+    """
+
+    backend = "dict"
+
+    def __init__(
+        self,
+        network: Optional[RoadNetwork] = None,
+        oracle: Optional[DistanceOracle] = None,
+        max_cached_sources: int = 1024,
+    ) -> None:
+        if oracle is None:
+            if network is None:
+                raise ValueError("DictDijkstraEngine needs a network or an oracle")
+            oracle = DistanceOracle(network, max_cached_sources=max_cached_sources)
+        self._oracle = oracle
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._oracle.network
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The wrapped memoising oracle."""
+        return self._oracle
+
+    @property
+    def stats(self):
+        """The wrapped oracle's counters (same shape as :class:`EngineStats`)."""
+        return self._oracle.stats
+
+    def distance(self, source: VertexId, target: VertexId) -> float:
+        return self._oracle.distance(source, target)
+
+    def distances_from(self, source: VertexId) -> Mapping[VertexId, float]:
+        return self._oracle.distances_from(source)
+
+    def path(self, source: VertexId, target: VertexId) -> PathResult:
+        return self._oracle.path(source, target)
+
+    def invalidate(self) -> None:
+        self._oracle.invalidate()
+
+
+class CSRGraph:
+    """Flat CSR (compressed sparse row) adjacency of a road network.
+
+    Vertices are mapped to dense integer indices; the neighbours of index
+    ``i`` are ``indices[indptr[i]:indptr[i+1]]`` with edge weights at the same
+    positions of ``weights``.  Both directions of every undirected edge are
+    stored, so the arrays describe a symmetric directed graph.
+    """
+
+    __slots__ = ("vertex_ids", "index_of", "indptr", "indices", "weights", "matrix")
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self.vertex_ids: List[VertexId] = network.vertices()
+        self.index_of: Dict[VertexId, int] = {
+            vertex: index for index, vertex in enumerate(self.vertex_ids)
+        }
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        weights: List[float] = []
+        index_of = self.index_of
+        for vertex in self.vertex_ids:
+            for neighbour, weight in network.neighbours_view(vertex).items():
+                indices.append(index_of[neighbour])
+                weights.append(weight)
+            indptr.append(len(indices))
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        if _csr_array is not None:
+            n = len(self.vertex_ids)
+            self.matrix = _csr_array(
+                (
+                    _np.asarray(weights, dtype=_np.float64),
+                    _np.asarray(indices, dtype=_np.int64),
+                    _np.asarray(indptr, dtype=_np.int64),
+                ),
+                shape=(n, n),
+            )
+        else:
+            self.matrix = None
+
+    def __len__(self) -> int:
+        return len(self.vertex_ids)
+
+    def index(self, vertex: VertexId) -> int:
+        """Map a vertex id to its dense index.
+
+        Raises:
+            VertexNotFoundError: if the vertex is unknown.
+        """
+        try:
+            return self.index_of[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    # ------------------------------------------------------------------
+    # single-source trees
+    # ------------------------------------------------------------------
+    def tree(self, source_index: int) -> List[float]:
+        """Distances from ``source_index`` to every index (inf = unreachable)."""
+        if self.matrix is not None:
+            return _csgraph_dijkstra(self.matrix, directed=True, indices=source_index).tolist()
+        return self._tree_python(source_index)[0]
+
+    def tree_with_parents(self, source_index: int) -> Tuple[List[float], List[int]]:
+        """Distances plus parent indices (-1 = root / unreachable)."""
+        if self.matrix is not None:
+            dist, parents = _csgraph_dijkstra(
+                self.matrix, directed=True, indices=source_index, return_predecessors=True
+            )
+            return dist.tolist(), [p if p >= 0 else -1 for p in parents.tolist()]
+        return self._tree_python(source_index)
+
+    def _tree_python(self, source_index: int) -> Tuple[List[float], List[int]]:
+        """Array-backed Dijkstra over the CSR arrays with an int-indexed heap."""
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        dist = [INFINITY] * len(self.vertex_ids)
+        parent = [-1] * len(self.vertex_ids)
+        dist[source_index] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source_index)]
+        push, pop = heapq.heappush, heapq.heappop
+        while heap:
+            d, u = pop(heap)
+            if d > dist[u]:
+                continue
+            for k in range(indptr[u], indptr[u + 1]):
+                v = indices[k]
+                nd = d + weights[k]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    push(heap, (nd, v))
+        return dist, parent
+
+
+class _TreeView(Mapping):
+    """Dict-like view of a dense distance array, keyed by vertex id.
+
+    Mirrors the mapping ``DistanceOracle.distances_from`` returns: lookups of
+    unreachable (or unknown) vertices raise ``KeyError``, iteration yields
+    only reachable vertices.
+    """
+
+    __slots__ = ("_graph", "_dist")
+
+    def __init__(self, graph: CSRGraph, dist: Sequence[float]) -> None:
+        self._graph = graph
+        self._dist = dist
+
+    def __getitem__(self, vertex: VertexId) -> float:
+        value = self._dist[self._graph.index_of[vertex]]
+        if value == INFINITY:
+            raise KeyError(vertex)
+        return value
+
+    def get(self, vertex: VertexId, default=None):
+        index = self._graph.index_of.get(vertex)
+        if index is None:
+            return default
+        value = self._dist[index]
+        return default if value == INFINITY else value
+
+    def __contains__(self, vertex: object) -> bool:
+        index = self._graph.index_of.get(vertex)
+        return index is not None and self._dist[index] != INFINITY
+
+    def __iter__(self) -> Iterator[VertexId]:
+        dist = self._dist
+        for index, vertex in enumerate(self._graph.vertex_ids):
+            if dist[index] != INFINITY:
+                yield vertex
+
+    def __len__(self) -> int:
+        return sum(1 for value in self._dist if value != INFINITY)
+
+
+class ALTIndex:
+    """A landmark (ALT) lower-bound index over a CSR graph.
+
+    Landmarks are chosen by farthest-point sampling so they spread over the
+    network; each landmark stores its full distance array.  For any vertices
+    ``u, v`` and landmark ``L`` the triangle inequality gives the admissible
+    bound ``dist(u, v) >= |dist(L, u) - dist(L, v)|`` (the network is
+    undirected); the index returns the maximum over all landmarks.
+    """
+
+    def __init__(self, graph: CSRGraph, landmarks: int = DEFAULT_LANDMARKS) -> None:
+        if landmarks <= 0:
+            raise ValueError(f"landmarks must be positive, got {landmarks}")
+        self._graph = graph
+        self.landmark_indices: List[int] = []
+        tables: List[List[float]] = []
+        n = len(graph)
+        if n:
+            # Seed with the vertex farthest from index 0, then repeatedly take
+            # the vertex farthest from the already-chosen landmark set.
+            seed_tree = graph.tree(0)
+            first = self._farthest(seed_tree, exclude=set())
+            self.landmark_indices.append(first)
+            tables.append(graph.tree(first))
+            closest = list(tables[0])
+            while len(self.landmark_indices) < min(landmarks, n):
+                candidate = self._farthest(closest, exclude=set(self.landmark_indices))
+                if candidate is None:
+                    break
+                self.landmark_indices.append(candidate)
+                tree = graph.tree(candidate)
+                tables.append(tree)
+                closest = [min(a, b) for a, b in zip(closest, tree)]
+        self._tables = tables
+        if _np is not None and tables:
+            self._matrix = _np.asarray(tables, dtype=_np.float64)
+        else:
+            self._matrix = None
+
+    @staticmethod
+    def _farthest(dist: Sequence[float], exclude: set) -> Optional[int]:
+        best_index, best_value = None, -1.0
+        for index, value in enumerate(dist):
+            if value != INFINITY and value > best_value and index not in exclude:
+                best_index, best_value = index, value
+        return best_index
+
+    @property
+    def landmark_count(self) -> int:
+        """Number of landmarks in the index."""
+        return len(self.landmark_indices)
+
+    def lower_bound_indexed(self, source_index: int, target_index: int) -> float:
+        """Admissible lower bound on the distance between two dense indices."""
+        if source_index == target_index:
+            return 0.0
+        if self._matrix is not None:
+            with _np.errstate(invalid="ignore"):
+                diff = _np.abs(self._matrix[:, source_index] - self._matrix[:, target_index])
+            best = _np.nanmax(diff) if diff.size else _np.nan
+            return 0.0 if _np.isnan(best) else float(best)
+        best = 0.0
+        for table in self._tables:
+            a, b = table[source_index], table[target_index]
+            if a == INFINITY and b == INFINITY:
+                continue  # landmark sees neither vertex: no information
+            if a == INFINITY or b == INFINITY:
+                # The network is undirected, so a landmark reaching exactly one
+                # of the two vertices proves they are disconnected.
+                return INFINITY
+            bound = a - b if a >= b else b - a
+            if bound > best:
+                best = bound
+        return best
+
+
+class CSREngine(RoutingEngine):
+    """Array-backed routing over flat CSR adjacency, with optional ALT bounds.
+
+    Single-source trees are computed over the CSR arrays (in C via SciPy when
+    available, otherwise with the pure-Python int-indexed heap Dijkstra) and
+    cached with the same FIFO policy as :class:`DistanceOracle`, including the
+    symmetric source/target reuse the matchers rely on.
+    """
+
+    backend = "csr"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        max_cached_sources: int = 1024,
+        landmarks: int = 0,
+    ) -> None:
+        if max_cached_sources <= 0:
+            raise ValueError("max_cached_sources must be positive")
+        self._network = network
+        self._max_cached_sources = max_cached_sources
+        self._landmarks = landmarks
+        self._graph = CSRGraph(network)
+        self._trees: "OrderedDict[int, List[float]]" = OrderedDict()
+        self._alt = ALTIndex(self._graph, landmarks) if landmarks > 0 else None
+        if landmarks > 0:
+            self.backend = "csr+alt"
+        self.stats = EngineStats()
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def graph(self) -> CSRGraph:
+        """The compiled CSR adjacency (rebuilt by :meth:`invalidate`)."""
+        return self._graph
+
+    @property
+    def alt(self) -> Optional[ALTIndex]:
+        """The landmark index, when the engine was built with one."""
+        return self._alt
+
+    # ------------------------------------------------------------------
+    def distance(self, source: VertexId, target: VertexId) -> float:
+        self.stats.queries += 1
+        if source == target:
+            return 0.0
+        source_index = self._graph.index(source)
+        target_index = self._graph.index(target)
+        if source_index not in self._trees and target_index in self._trees:
+            # Undirected network: the tree rooted at ``target`` answers too.
+            source_index, target_index = target_index, source_index
+        value = self._tree(source_index)[target_index]
+        if value == INFINITY:
+            raise DisconnectedError(source, target)
+        return value
+
+    def distances_from(self, source: VertexId) -> Mapping[VertexId, float]:
+        self.stats.queries += 1
+        return _TreeView(self._graph, self._tree(self._graph.index(source)))
+
+    def path(self, source: VertexId, target: VertexId) -> PathResult:
+        source_index = self._graph.index(source)
+        target_index = self._graph.index(target)
+        if source == target:
+            return PathResult(source, target, 0.0, (source,))
+        dist, parents = self._graph.tree_with_parents(source_index)
+        if dist[target_index] == INFINITY:
+            raise DisconnectedError(source, target)
+        vertex_ids = self._graph.vertex_ids
+        indices = [target_index]
+        while indices[-1] != source_index:
+            indices.append(parents[indices[-1]])
+        indices.reverse()
+        return PathResult(
+            source, target, dist[target_index], tuple(vertex_ids[i] for i in indices)
+        )
+
+    def distance_lower_bound(self, source: VertexId, target: VertexId) -> float:
+        if self._alt is None:
+            return 0.0
+        return self._alt.lower_bound_indexed(
+            self._graph.index(source), self._graph.index(target)
+        )
+
+    def invalidate(self) -> None:
+        """Recompile the CSR arrays and landmark tables, drop cached trees."""
+        self._graph = CSRGraph(self._network)
+        self._trees.clear()
+        self._alt = ALTIndex(self._graph, self._landmarks) if self._landmarks > 0 else None
+
+    # ------------------------------------------------------------------
+    def _tree(self, source_index: int) -> List[float]:
+        tree = self._trees.get(source_index)
+        if tree is not None:
+            self.stats.cache_hits += 1
+            return tree
+        tree = self._graph.tree(source_index)
+        self.stats.dijkstra_runs += 1
+        self._trees[source_index] = tree
+        if len(self._trees) > self._max_cached_sources:
+            self._trees.popitem(last=False)
+        return tree
+
+
+def make_engine(
+    network: RoadNetwork,
+    backend: str = "dict",
+    max_cached_sources: int = 1024,
+    landmarks: int = DEFAULT_LANDMARKS,
+) -> RoutingEngine:
+    """Build a routing engine by backend name ("dict", "csr" or "csr+alt").
+
+    Raises:
+        ConfigurationError: for an unknown backend name.
+    """
+    if backend == "dict":
+        return DictDijkstraEngine(network, max_cached_sources=max_cached_sources)
+    if backend == "csr":
+        return CSREngine(network, max_cached_sources=max_cached_sources)
+    if backend == "csr+alt":
+        return CSREngine(network, max_cached_sources=max_cached_sources, landmarks=landmarks)
+    raise ConfigurationError(
+        f"unknown routing backend {backend!r}; choose one of {ROUTING_BACKENDS}"
+    )
+
+
+def ensure_engine(value: object, network: RoadNetwork) -> RoutingEngine:
+    """Coerce ``value`` (engine, bare oracle or ``None``) into a routing engine.
+
+    Keeps call sites that still construct a :class:`DistanceOracle` working
+    unchanged: a bare oracle is wrapped into a :class:`DictDijkstraEngine`
+    that shares its caches and statistics.
+    """
+    if value is None:
+        return DictDijkstraEngine(network)
+    if isinstance(value, RoutingEngine):
+        return value
+    if isinstance(value, DistanceOracle):
+        return DictDijkstraEngine(oracle=value)
+    raise TypeError(f"expected a RoutingEngine or DistanceOracle, got {type(value)!r}")

@@ -13,12 +13,14 @@ into this module constantly, so it offers several access patterns:
 * :func:`dijkstra_all` / :func:`multi_source_dijkstra` -- full and
   multi-source expansions used when building the grid index;
 * :class:`DistanceOracle` -- a memoising facade that caches single-source
-  trees, which is what the matchers and the simulator hold on to.
+  trees; it backs the "dict" backend of :mod:`repro.roadnet.routing`, which
+  is what the matchers and the simulator hold on to.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -392,8 +394,9 @@ class DistanceOracle:
             raise ValueError("max_cached_sources must be positive")
         self._network = network
         self._max_cached_sources = max_cached_sources
-        self._trees: Dict[VertexId, Dict[VertexId, float]] = {}
-        self._order: List[VertexId] = []
+        # OrderedDict doubles as the FIFO eviction queue: popitem(last=False)
+        # evicts the oldest source in O(1) instead of list.pop(0)'s O(n).
+        self._trees: "OrderedDict[VertexId, Dict[VertexId, float]]" = OrderedDict()
         self.stats = _OracleStats()
 
     @property
@@ -442,14 +445,11 @@ class DistanceOracle:
     def invalidate(self) -> None:
         """Drop every cached tree (call after the network is mutated)."""
         self._trees.clear()
-        self._order.clear()
 
     def _grow_tree(self, source: VertexId) -> Dict[VertexId, float]:
         tree = dijkstra_all(self._network, source)
         self.stats.dijkstra_runs += 1
         self._trees[source] = tree
-        self._order.append(source)
-        if len(self._order) > self._max_cached_sources:
-            evicted = self._order.pop(0)
-            self._trees.pop(evicted, None)
+        if len(self._trees) > self._max_cached_sources:
+            self._trees.popitem(last=False)
         return tree

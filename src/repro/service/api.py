@@ -15,7 +15,7 @@ Website interface (Section 4.2)
       average response time, average sharing rate, ...);
     * :meth:`PTRiderService.set_parameters` -- the admin form (taxi capacity,
       number of taxis, maximum waiting time, service constraint, price
-      calculator, matching algorithm).
+      calculator, matching algorithm, routing backend).
 
 Time advances through :meth:`PTRiderService.advance`, which delegates to the
 simulation engine: vehicles drive their schedules, pick-ups and drop-offs
@@ -45,7 +45,7 @@ from repro.model.request import Request
 from repro.roadnet.generators import grid_network
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.grid_index import GridIndex
-from repro.roadnet.shortest_path import DistanceOracle
+from repro.roadnet.routing import ROUTING_BACKENDS, make_engine
 from repro.sim.engine import SimulationEngine
 from repro.sim.workload import RequestWorkload
 from repro.vehicles.fleet import Fleet
@@ -288,11 +288,15 @@ class PTRiderService:
         vehicle_capacity: Optional[int] = None,
         max_pickup_distance: Optional[float] = None,
         matcher_name: Optional[str] = None,
+        routing_backend: Optional[str] = None,
     ) -> SystemConfig:
         """The admin form: update global parameters and/or swap the matcher.
 
         Capacity changes apply to vehicles added afterwards (existing taxis
-        keep their physical capacity, as they would in reality).
+        keep their physical capacity, as they would in reality).  Changing
+        ``routing_backend`` rebuilds the routing engine (and therefore its
+        caches) on the same road network; the matcher and dispatcher are
+        rebuilt on top of it.
         """
         changes: Dict[str, object] = {}
         if max_waiting is not None:
@@ -310,8 +314,18 @@ class PTRiderService:
                 )
             if matcher_name in SystemConfig._VALID_MATCHERS:
                 changes["matcher_name"] = matcher_name
+        if routing_backend is not None:
+            if routing_backend not in ROUTING_BACKENDS:
+                raise ConfigurationError(
+                    f"unknown routing backend {routing_backend!r}; choose one of {ROUTING_BACKENDS}"
+                )
+            changes["routing_backend"] = routing_backend
         if changes:
             self._config = self._config.with_updates(**changes)
+        if routing_backend is not None and routing_backend != self._fleet.routing_engine.backend:
+            self._fleet.set_routing_engine(
+                make_engine(self._fleet.grid.network, routing_backend)
+            )
         if matcher_name is not None:
             self._matcher = self._build_matcher(matcher_name)
         else:
@@ -338,6 +352,7 @@ def build_system(
     grid_columns: int = 8,
     config: Optional[SystemConfig] = None,
     seed: Optional[int] = None,
+    routing: Optional[str] = None,
 ) -> PTRiderService:
     """Build a ready-to-use PTRider system.
 
@@ -350,6 +365,8 @@ def build_system(
         config: global parameters (a default :class:`SystemConfig` otherwise,
             with the requested capacity).
         seed: seed controlling vehicle placement and idle wandering.
+        routing: routing backend override ("dict", "csr" or "csr+alt");
+            defaults to the config's ``routing_backend``.
 
     Returns:
         A :class:`PTRiderService` whose fleet is registered and idle.
@@ -358,9 +375,11 @@ def build_system(
     if network is None:
         network = grid_network(network_rows, network_columns, spacing=1.0, weight_jitter=0.25, seed=seed)
     system_config = config or SystemConfig(vehicle_capacity=capacity)
+    if routing is not None and routing != system_config.routing_backend:
+        system_config = system_config.with_updates(routing_backend=routing)
+    engine = make_engine(network, system_config.routing_backend)
     grid = GridIndex(network, rows=grid_rows, columns=grid_columns)
-    oracle = DistanceOracle(network)
-    fleet = Fleet(grid, oracle)
+    fleet = Fleet(grid, engine)
     vertices = network.vertices()
     for index in range(vehicles):
         location = rng.choice(vertices)

@@ -85,7 +85,6 @@ class SimulationEngine:
         self._dispatcher = dispatcher
         self._fleet = dispatcher.fleet
         self._network = self._fleet.grid.network
-        self._oracle = self._fleet.oracle
         self._workload = workload
         self._speed = speed
         self._tick = tick
@@ -100,6 +99,12 @@ class SimulationEngine:
         self._assignments: Dict[str, _AssignmentRecord] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def _oracle(self):
+        # Read through the fleet so admin-panel routing-backend swaps
+        # (PTRiderService.set_parameters) take effect mid-run.
+        return self._fleet.oracle
+
     @property
     def time(self) -> float:
         """Current simulation time."""

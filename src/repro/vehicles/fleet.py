@@ -26,7 +26,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.errors import UnknownVehicleError, VehicleError
 from repro.roadnet.grid_index import CellId, GridIndex
-from repro.roadnet.shortest_path import DistanceOracle, shortest_path
+from repro.roadnet.routing import RoutingEngine, ensure_engine, make_engine
 from repro.vehicles.vehicle import Vehicle
 
 __all__ = ["Fleet"]
@@ -37,21 +37,31 @@ class Fleet:
 
     Args:
         grid: the grid index of the road network.
-        oracle: shortest-path oracle (used when ``register_full_paths`` is on
-            and by convenience helpers).
+        oracle: the routing engine answering shortest-path queries (used by
+            the matchers, the dispatcher and, when ``register_full_paths`` is
+            on, the cell registration).  A bare
+            :class:`~repro.roadnet.shortest_path.DistanceOracle` is accepted
+            and wrapped into the "dict" engine; ``None`` builds one from
+            ``routing``.
         register_full_paths: register non-empty vehicles with every cell their
             schedule legs cross (paper behaviour) instead of only the cells of
             their stops.
+        routing: backend name used when no ``oracle`` is given ("dict",
+            "csr" or "csr+alt").
     """
 
     def __init__(
         self,
         grid: GridIndex,
-        oracle: Optional[DistanceOracle] = None,
+        oracle: object = None,
         register_full_paths: bool = False,
+        routing: Optional[str] = None,
     ) -> None:
         self._grid = grid
-        self._oracle = oracle or DistanceOracle(grid.network)
+        if oracle is None and routing is not None:
+            self._engine: RoutingEngine = make_engine(grid.network, routing)
+        else:
+            self._engine = ensure_engine(oracle, grid.network)
         self._register_full_paths = register_full_paths
         self._vehicles: Dict[str, Vehicle] = {}
 
@@ -73,9 +83,24 @@ class Fleet:
         return self._grid
 
     @property
-    def oracle(self) -> DistanceOracle:
-        """The shortest-path oracle shared with the matchers."""
-        return self._oracle
+    def routing_engine(self) -> RoutingEngine:
+        """The routing engine shared with the matchers."""
+        return self._engine
+
+    @property
+    def oracle(self) -> RoutingEngine:
+        """Backwards-compatible alias for :attr:`routing_engine`."""
+        return self._engine
+
+    def set_routing_engine(self, engine: RoutingEngine) -> None:
+        """Swap the routing engine (admin panel routing-backend changes).
+
+        Matchers and dispatchers built before the swap keep the old engine;
+        the service layer rebuilds them right after calling this.
+        """
+        if engine.network is not self._grid.network:
+            raise VehicleError("the new routing engine must answer on the fleet's road network")
+        self._engine = engine
 
     def vehicle_ids(self) -> List[str]:
         """Return every registered vehicle id."""
@@ -158,10 +183,10 @@ class Fleet:
         if self._register_full_paths and schedules:
             # Expand the best schedule's legs into full vertex paths, so every
             # crossed cell is covered (paper behaviour).
-            best = vehicle.kinetic_tree.best_schedule(self._oracle.distance, vehicle.offset)
+            best = vehicle.kinetic_tree.best_schedule(self._engine.distance, vehicle.offset)
             previous = vehicle.location
             for stop in best or ():
-                result = shortest_path(self._grid.network, previous, stop.vertex)
+                result = self._engine.path(previous, stop.vertex)
                 vertices.update(result.path)
                 previous = stop.vertex
         return self._grid.cells_on_path(sorted(vertices))

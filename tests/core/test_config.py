@@ -41,6 +41,14 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             SystemConfig(matcher_name="warp_drive")
 
+    def test_invalid_routing_backend(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(routing_backend="teleport")
+
+    def test_routing_backend_accepts_known_names(self):
+        for backend in ("dict", "csr", "csr+alt"):
+            assert SystemConfig(routing_backend=backend).routing_backend == backend
+
 
 class TestBehaviour:
     def test_with_updates_returns_new_config(self):

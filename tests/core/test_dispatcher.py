@@ -76,6 +76,39 @@ class TestSubmitCommit:
         with pytest.raises(UnknownOptionError):
             dispatcher.commit(request, option)
 
+    def test_commit_rejects_broken_pickup_promise(self, dispatcher):
+        """A promise the vehicle can no longer honour within ``w`` is refused.
+
+        The option pretends a zero-distance pick-up was promised while the
+        request allows no extra waiting, so every (otherwise feasible)
+        schedule exceeds the promised-pickup budget and
+        ``_filter_by_promised_pickup`` must empty the schedule list.
+        """
+        network = dispatcher.fleet.grid.network
+        base = random_requests(network, 1, 6.0, 0.4, seed=11)[0]
+        options = dispatcher.submit(base)
+        assert options
+        real = options[0]
+        assert real.pickup_distance > 0  # otherwise the promise is trivially kept
+        tight = Request(
+            start=base.start, destination=base.destination, riders=base.riders,
+            max_waiting=0.0, service_constraint=base.service_constraint,
+            request_id=base.request_id,
+        )
+        broken_promise = RideOption(
+            vehicle_id=real.vehicle_id, pickup_distance=0.0, price=real.price,
+            request_id=tight.request_id,
+        )
+        with pytest.raises(UnknownOptionError):
+            dispatcher.commit(tight, broken_promise)
+        # the honest promise with the same waiting budget still commits
+        honest = RideOption(
+            vehicle_id=real.vehicle_id, pickup_distance=real.pickup_distance,
+            price=real.price, request_id=tight.request_id,
+        )
+        dispatcher.commit(tight, honest)
+        assert dispatcher.vehicle_of_request(tight.request_id) == real.vehicle_id
+
     def test_normalise_applies_global_constraints(self, dispatcher):
         request = Request(start=1, destination=5, riders=1, max_waiting=99.0, service_constraint=9.0)
         normalised = dispatcher.normalise(request)

@@ -68,9 +68,9 @@ class TestDestinationSidePruning:
         expected = option_points(single.match(probe))
         assert option_points(dual.match(probe)) == expected
 
-        direct = fleet.oracle.distance(probe.start, probe.destination)
-        single_bound = single._price_lower_bound(fleet.get("c1"), probe, direct)  # noqa: SLF001
-        dual_bound = dual._price_lower_bound(fleet.get("c1"), probe, direct)  # noqa: SLF001
+        context = single.make_context(probe)
+        single_bound = single._price_lower_bound(fleet.get("c1"), context)  # noqa: SLF001
+        dual_bound = dual._price_lower_bound(fleet.get("c1"), context)  # noqa: SLF001
         assert dual_bound >= single_bound
 
     def test_empty_vehicle_bound_unchanged(self, busy_fleet):
@@ -78,10 +78,10 @@ class TestDestinationSidePruning:
         single = SingleSideSearchMatcher(busy_fleet, config=config)
         dual = DualSideSearchMatcher(busy_fleet, config=config)
         request = random_requests(busy_fleet.grid.network, 1, 6.0, 0.5, seed=4)[0]
-        direct = busy_fleet.oracle.distance(request.start, request.destination)
+        context = single.make_context(request)
         for vehicle in busy_fleet.empty_vehicles():
-            assert dual._price_lower_bound(vehicle, request, direct) == pytest.approx(  # noqa: SLF001
-                single._price_lower_bound(vehicle, request, direct)  # noqa: SLF001
+            assert dual._price_lower_bound(vehicle, context) == pytest.approx(  # noqa: SLF001
+                single._price_lower_bound(vehicle, context)  # noqa: SLF001
             )
 
     def test_name(self, busy_fleet):

@@ -36,7 +36,8 @@ class TestVerifyVehicle:
     def test_per_vehicle_options_are_skyline(self, figure1_fleet, paper_config):
         matcher = NaiveKineticTreeMatcher(figure1_fleet, config=paper_config)
         request = Request(start=12, destination=17, riders=2, max_waiting=50.0, service_constraint=3.0)
-        options = matcher._verify_vehicle(figure1_fleet.get("c1"), request)  # noqa: SLF001
+        context = matcher.make_context(request)
+        options = matcher._verify_vehicle(figure1_fleet.get("c1"), context)  # noqa: SLF001
         for first in options:
             for second in options:
                 if first is not second:
@@ -62,18 +63,19 @@ class TestLowerBounds:
     def test_pickup_lower_bound_admissible(self, figure1_fleet, paper_request_r2, paper_config):
         matcher = SingleSideSearchMatcher(figure1_fleet, config=paper_config)
         oracle = figure1_fleet.oracle
+        context = matcher.make_context(paper_request_r2)
         for vehicle in figure1_fleet.vehicles():
-            bound = matcher._pickup_lower_bound(vehicle, paper_request_r2)  # noqa: SLF001
+            bound = matcher._pickup_lower_bound(vehicle, context)  # noqa: SLF001
             exact = oracle.distance(vehicle.location, paper_request_r2.start) + vehicle.offset
             assert bound <= exact + 1e-9
 
     def test_price_lower_bound_admissible(self, figure1_fleet, paper_request_r2, paper_config):
         matcher = SingleSideSearchMatcher(figure1_fleet, config=paper_config)
-        direct = figure1_fleet.oracle.distance(paper_request_r2.start, paper_request_r2.destination)
+        context = matcher.make_context(paper_request_r2)
         reference = NaiveKineticTreeMatcher(figure1_fleet, config=paper_config)
         options = {o.vehicle_id: o for o in reference.match(paper_request_r2)}
         for vehicle in figure1_fleet.vehicles():
-            bound = matcher._price_lower_bound(vehicle, paper_request_r2, direct)  # noqa: SLF001
+            bound = matcher._price_lower_bound(vehicle, context)  # noqa: SLF001
             if vehicle.vehicle_id in options:
                 assert bound <= options[vehicle.vehicle_id].price + 1e-9
 

@@ -1,0 +1,129 @@
+"""Property-based tests: every routing backend answers identically.
+
+The matchers treat the routing engine as an exact shortest-path oracle; if
+the CSR backend ever disagreed with the reference dict-Dijkstra backend, the
+skylines would silently change with the ``--routing`` ablation flag.  The
+tests below generate random networks and check
+
+* point-to-point distances and full trees agree across backends;
+* returned paths are valid walks whose length equals the reported distance;
+* ALT landmark lower bounds are admissible (never exceed the true distance),
+  which is what makes the combined grid/ALT pruning safe.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.generators import grid_network, random_geometric_network
+from repro.roadnet.routing import CSREngine, DictDijkstraEngine, make_engine
+from repro.roadnet.shortest_path import path_length
+
+
+def _sample(vertices, step_hint):
+    return vertices[:: max(1, len(vertices) // step_hint)]
+
+
+@given(
+    rows=st.integers(min_value=2, max_value=6),
+    columns=st.integers(min_value=2, max_value=6),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_csr_distances_match_dict_on_grid_networks(rows, columns, jitter, seed):
+    network = grid_network(rows, columns, weight_jitter=jitter, seed=seed)
+    dict_engine = DictDijkstraEngine(network)
+    csr_engine = CSREngine(network)
+    sample = _sample(network.vertices(), 8)
+    for u in sample:
+        for v in sample:
+            # Summation order can differ by an ulp between the C and Python
+            # Dijkstra when equal-length paths tie; anything beyond that is a
+            # real disagreement.
+            assert math.isclose(
+                csr_engine.distance(u, v), dict_engine.distance(u, v),
+                rel_tol=1e-12, abs_tol=1e-12,
+            )
+
+
+@given(
+    count=st.integers(min_value=10, max_value=40),
+    radius=st.floats(min_value=0.15, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_csr_trees_match_dict_on_geometric_networks(count, radius, seed):
+    """Geometric networks may be disconnected: the trees must agree on the
+    reachable set, not just on values."""
+    network = random_geometric_network(count, radius=radius, seed=seed)
+    dict_engine = DictDijkstraEngine(network)
+    csr_engine = CSREngine(network)
+    for source in _sample(network.vertices(), 5):
+        dict_tree = dict_engine.distances_from(source)
+        csr_tree = csr_engine.distances_from(source)
+        assert set(csr_tree) == set(dict_tree)
+        for vertex, value in dict_tree.items():
+            assert math.isclose(csr_tree[vertex], value, rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(
+    rows=st.integers(min_value=2, max_value=6),
+    columns=st.integers(min_value=2, max_value=6),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_csr_paths_are_valid_and_optimal(rows, columns, jitter, seed):
+    network = grid_network(rows, columns, weight_jitter=jitter, seed=seed)
+    dict_engine = DictDijkstraEngine(network)
+    csr_engine = CSREngine(network)
+    vertices = network.vertices()
+    for u in _sample(vertices, 4):
+        for v in _sample(vertices, 3):
+            result = csr_engine.path(u, v)
+            assert result.path[0] == u and result.path[-1] == v
+            # A shortest path may tie-break differently between backends, but
+            # its walk length must equal the (agreed) optimal distance.
+            assert math.isclose(path_length(network, result.path), result.distance)
+            assert math.isclose(
+                result.distance, dict_engine.distance(u, v), rel_tol=1e-12, abs_tol=1e-12
+            )
+
+
+@given(
+    rows=st.integers(min_value=2, max_value=6),
+    columns=st.integers(min_value=2, max_value=6),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    landmarks=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_alt_lower_bounds_are_admissible(rows, columns, jitter, landmarks, seed):
+    network = grid_network(rows, columns, weight_jitter=jitter, seed=seed)
+    engine = CSREngine(network, landmarks=landmarks)
+    sample = _sample(network.vertices(), 8)
+    for u in sample:
+        for v in sample:
+            bound = engine.distance_lower_bound(u, v)
+            assert bound <= engine.distance(u, v) + 1e-9
+
+
+@given(
+    rows=st.integers(min_value=3, max_value=6),
+    columns=st.integers(min_value=3, max_value=6),
+    jitter=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_backend_factory_names_round_trip(rows, columns, jitter, seed):
+    network = grid_network(rows, columns, weight_jitter=jitter, seed=seed)
+    engines = {name: make_engine(network, name) for name in ("dict", "csr", "csr+alt")}
+    u, v = network.vertices()[0], network.vertices()[-1]
+    reference = engines["dict"].distance(u, v)
+    for name, engine in engines.items():
+        assert engine.backend == name
+        assert math.isclose(engine.distance(u, v), reference, rel_tol=1e-12, abs_tol=1e-12)

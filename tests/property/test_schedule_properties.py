@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -90,7 +91,12 @@ def test_option_prices_match_the_price_model(case):
     ratio = rider_price_ratio(probe.riders)
     for option in matcher.match(probe):
         assert option.price >= ratio * direct - 1e-9
-        assert option.price == LinearPriceModel().price(probe.riders, option.added_distance, direct)
+        # The matcher's `direct` comes from the request-rooted tree while this
+        # test recomputes it through the oracle, whose symmetric cache reuse
+        # may sum the same path in the opposite order -- allow ulp noise.
+        assert option.price == pytest.approx(
+            LinearPriceModel().price(probe.riders, option.added_distance, direct), rel=1e-12
+        )
         assert option.pickup_distance >= fleet.grid.distance_lower_bound(
             fleet.get(option.vehicle_id).location, probe.start
         ) - 1e-9

@@ -147,6 +147,22 @@ class TestWebsiteInterface:
         with pytest.raises(ConfigurationError):
             paper_service.set_parameters(matcher_name="teleporter")
 
+    def test_set_parameters_switches_routing_backend(self, paper_service):
+        before = paper_service.book(start=12, destination=17, riders=2)
+        config = paper_service.set_parameters(routing_backend="csr")
+        assert config.routing_backend == "csr"
+        assert paper_service.fleet.routing_engine.backend == "csr"
+        after = paper_service.book(start=12, destination=17, riders=2)
+        assert [
+            (o.vehicle_id, round(o.pickup_distance, 6), round(o.price, 6)) for o in before.options
+        ] == [
+            (o.vehicle_id, round(o.pickup_distance, 6), round(o.price, 6)) for o in after.options
+        ]
+
+    def test_set_parameters_rejects_unknown_routing_backend(self, paper_service):
+        with pytest.raises(ConfigurationError):
+            paper_service.set_parameters(routing_backend="teleport")
+
 
 class TestBuildSystem:
     def test_build_system_defaults(self):
@@ -166,6 +182,21 @@ class TestBuildSystem:
         a = build_system(network_rows=5, network_columns=5, vehicles=5, seed=9)
         b = build_system(network_rows=5, network_columns=5, vehicles=5, seed=9)
         assert [v.location for v in a.fleet.vehicles()] == [v.location for v in b.fleet.vehicles()]
+
+    def test_build_system_with_csr_routing(self):
+        dict_system = build_system(network_rows=6, network_columns=6, vehicles=8, seed=4)
+        csr_system = build_system(
+            network_rows=6, network_columns=6, vehicles=8, seed=4, routing="csr"
+        )
+        assert csr_system.fleet.routing_engine.backend == "csr"
+        assert csr_system.config.routing_backend == "csr"
+        a = dict_system.book(1, 30, riders=1)
+        b = csr_system.book(1, 30, riders=1)
+        assert [
+            (o.vehicle_id, round(o.pickup_distance, 6), round(o.price, 6)) for o in a.options
+        ] == [
+            (o.vehicle_id, round(o.pickup_distance, 6), round(o.price, 6)) for o in b.options
+        ]
 
     def test_registry_covers_all_matchers(self):
         assert set(MATCHER_REGISTRY) == {"single_side", "dual_side", "naive", "nearest", "sharek", "tshare"}

@@ -32,6 +32,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--matcher", "bogus"])
 
+    def test_routing_argument(self):
+        for command in ("demo", "simulate", "compare"):
+            args = build_parser().parse_args([command, "--routing", "csr"])
+            assert args.routing == "csr"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--routing", "bogus"])
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -61,3 +68,13 @@ class TestCommands:
         assert "single_side" in captured
         assert "naive" in captured
         assert "dual_side" in captured
+
+    def test_simulate_runs_with_csr_routing(self, capsys):
+        exit_code = main([
+            "simulate", "--vehicles", "6", "--rows", "6", "--columns", "6",
+            "--trips", "10", "--duration", "60", "--seed", "3", "--routing", "csr",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "routing=csr" in captured
+        assert "average_response_time" in captured
