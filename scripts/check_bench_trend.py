@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Fail CI when benchmark wall times regress against the committed record.
+
+``benchmarks/`` writes every session's machine-readable records to
+``BENCH_results.json`` (committed at the repo root, archived per-commit as a
+CI artifact).  This script compares a freshly produced set of records against
+the committed previous record and exits non-zero when a monitored
+experiment's best wall time regressed by more than the threshold
+(default 25%), so a PR that slows the hot path fails its workflow instead of
+silently shipping.
+
+Per ``(experiment, routing backend)`` pair the *minimum* wall time on each
+side is compared -- the records of one experiment mix entry kinds
+(whole-simulation runs, routing-layer probes) and repetitions, and
+min-vs-min is the most noise-tolerant summary of "how fast can this
+experiment go on this machine"; separating backends keeps a regression in
+one backend from hiding behind a faster record of another.  Pairs present on
+only one side are skipped, so the committed record and the CI runs don't
+have to cover identical backend matrices.
+
+Caveat: the committed baseline was produced on whatever machine last
+regenerated ``BENCH_results.json``; across very different hardware the
+threshold flags machine deltas, not code deltas.  Regenerate the committed
+record when that happens (the CI artifact archive keeps the trajectory).
+
+Usage::
+
+    python scripts/check_bench_trend.py \
+        --baseline bench-records/baseline.json \
+        --fresh bench-records/e2-dict.json bench-records/e8-csr.json \
+        --experiments E2 E8 [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+
+def load_records(paths: Iterable[Path]) -> List[dict]:
+    """Concatenate the record lists of several ``BENCH_results.json`` files."""
+    records: List[dict] = []
+    for path in paths:
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, list):
+            raise SystemExit(f"{path}: expected a JSON list of records")
+        records.extend(payload)
+    return records
+
+
+def best_wall_seconds(
+    records: List[dict], experiments: Iterable[str]
+) -> Dict[tuple, float]:
+    """Minimum ``wall_seconds`` per monitored (experiment, routing backend)."""
+    best: Dict[tuple, float] = {}
+    wanted = set(experiments)
+    for record in records:
+        experiment = record.get("experiment")
+        wall = record.get("wall_seconds")
+        if experiment not in wanted or not isinstance(wall, (int, float)):
+            continue
+        key = (experiment, record.get("routing_backend", "dict"))
+        if key not in best or wall < best[key]:
+            best[key] = float(wall)
+    return best
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="the committed previous BENCH_results.json",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, nargs="+", required=True,
+        help="freshly produced record file(s)",
+    )
+    parser.add_argument(
+        "--experiments", nargs="+", default=["E2", "E8"],
+        help="experiments whose wall time is monitored (default: E2 E8)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="maximum tolerated relative regression (default: 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = best_wall_seconds(load_records([args.baseline]), args.experiments)
+    fresh = best_wall_seconds(load_records(args.fresh), args.experiments)
+
+    compared = sorted(set(baseline) & set(fresh))
+    for key in sorted(set(baseline) ^ set(fresh)):
+        side = "fresh" if key in baseline else "committed baseline"
+        print(f"{key[0]} [{key[1]}]: no {side} record -- skipped")
+
+    failures = []
+    for key in compared:
+        experiment, backend = key
+        before, after = baseline[key], fresh[key]
+        ratio = after / before if before > 0 else float("inf")
+        verdict = "OK" if ratio <= 1.0 + args.threshold else "REGRESSED"
+        print(
+            f"{experiment} [{backend}]: baseline {before:.4f}s -> fresh {after:.4f}s "
+            f"({ratio:.2f}x) {verdict}"
+        )
+        if verdict == "REGRESSED":
+            failures.append(f"{experiment} [{backend}]")
+
+    if not compared:
+        print("no overlapping (experiment, backend) records -- nothing compared")
+    if failures:
+        print(
+            f"wall-time regression over {args.threshold:.0%} in: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,8 +28,12 @@ class TShareStyleMatcher(Matcher):
     """Return the single feasible option with the earliest pick-up."""
 
     name = "tshare"
+    # The earliest-pickup single option is not a dominance skyline, so
+    # per-shard results cannot be merged losslessly; the pipeline always
+    # matches this baseline against the whole fleet.
+    supports_sharding = False
 
-    def _collect_options(self, context: MatchContext) -> List[RideOption]:
+    def _collect_options(self, context: MatchContext, fleet) -> List[RideOption]:
         request = context.request
         start_cell = self._grid.cell_of_vertex(request.start).cell_id
         start_min = self._grid.vertex_min(request.start)
@@ -44,8 +48,8 @@ class TShareStyleMatcher(Matcher):
                 break
             if max_pickup is not None and cell_pickup_lb > max_pickup:
                 break
-            vehicles = self._fleet.empty_vehicles_in_cell(cell.cell_id)
-            vehicles += self._fleet.nonempty_vehicles_in_cell(cell.cell_id)
+            vehicles = fleet.empty_vehicles_in_cell(cell.cell_id)
+            vehicles += fleet.nonempty_vehicles_in_cell(cell.cell_id)
             for vehicle in vehicles:
                 if vehicle.vehicle_id in seen:
                     continue

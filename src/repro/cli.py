@@ -75,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--routing", choices=ROUTING_BACKENDS, default="dict", help="routing backend"
     )
+    simulate.add_argument(
+        "--shards", type=int, default=1,
+        help="fleet shards the batch dispatch pipeline partitions vehicles into",
+    )
 
     compare = subparsers.add_parser("compare", help="compare matcher work on one request burst")
     compare.add_argument("--vehicles", type=int, default=60, help="fleet size")
@@ -84,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=7, help="random seed")
     compare.add_argument(
         "--routing", choices=ROUTING_BACKENDS, default="dict", help="routing backend"
+    )
+    compare.add_argument(
+        "--shards", type=int, default=1,
+        help="fleet shards the batch dispatch pipeline partitions vehicles into",
+    )
+    compare.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="dispatch the burst through the batched pipeline (--no-batch for the sequential loop)",
     )
     return parser
 
@@ -139,7 +151,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
         fleet.add_vehicle(Vehicle(f"c{index + 1}", location=rng.choice(vertices), capacity=4))
     config = SystemConfig(
         max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0,
-        routing_backend=args.routing,
+        routing_backend=args.routing, match_shards=args.shards,
     )
     matcher = {
         "single_side": SingleSideSearchMatcher,
@@ -152,7 +164,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
     workload = RequestWorkload.from_trips(trips, config.max_waiting, config.service_constraint)
     engine = SimulationEngine(dispatcher, workload, speed=1.0, tick=1.0, seed=args.seed)
     report = engine.run(until=args.duration + 50.0)
-    print(f"Matcher: {matcher.name} (routing={args.routing})")
+    print(f"Matcher: {matcher.name} (routing={args.routing}, shards={args.shards})")
     for key, value in sorted(report.panel().items()):
         print(f"  {key:>25}: {value:.4f}")
     return 0
@@ -170,7 +182,7 @@ def _run_compare(args: argparse.Namespace) -> int:
             fleet.add_vehicle(Vehicle(f"c{index + 1}", location=rng.choice(vertices), capacity=4))
         config = SystemConfig(
             max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0,
-            routing_backend=args.routing,
+            routing_backend=args.routing, match_shards=args.shards,
         )
         matcher = matcher_class(fleet, config=config)
         dispatcher = Dispatcher(fleet, matcher, config)
@@ -182,15 +194,23 @@ def _run_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         started = time.perf_counter()
-        dispatcher.dispatch_batch(requests, policy=OptionPolicy.CHEAPEST)
+        if args.batch:
+            dispatcher.dispatch_batch(requests, policy=OptionPolicy.CHEAPEST)
+        else:
+            dispatcher.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
         elapsed = time.perf_counter() - started
         stats = matcher.statistics.as_dict()
-        results.append((matcher.name, elapsed, stats))
-    print(f"{'matcher':>12} {'seconds':>9} {'evaluated':>10} {'pruned':>8} {'options':>8}")
-    for name, elapsed, stats in results:
+        batch_stats = dispatcher.last_batch_statistics
+        hit_rate = batch_stats.shared_tree_hit_rate if batch_stats is not None else 0.0
+        results.append((matcher.name, elapsed, stats, hit_rate))
+    mode = f"batched pipeline, {args.shards} shard(s)" if args.batch else "sequential loop"
+    print(f"Dispatch: {mode}")
+    print(f"{'matcher':>12} {'seconds':>9} {'evaluated':>10} {'pruned':>8} {'options':>8} {'tree hits':>9}")
+    for name, elapsed, stats, hit_rate in results:
         print(
             f"{name:>12} {elapsed:>9.3f} {stats['vehicles_evaluated']:>10.0f} "
-            f"{stats['vehicles_pruned']:>8.0f} {stats['options_returned']:>8.0f}"
+            f"{stats['vehicles_pruned']:>8.0f} {stats['options_returned']:>8.0f} "
+            f"{hit_rate:>8.0%}"
         )
     return 0
 

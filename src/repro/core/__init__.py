@@ -5,6 +5,8 @@ The subpackage contains
 * :mod:`repro.core.pricing` -- the price model of Definition 3;
 * :mod:`repro.core.insertion` -- insertion of a request into a vehicle's
   kinetic tree with lower-bound short-circuiting;
+* :mod:`repro.core.batch` -- shared routing contexts for a batch of
+  simultaneous requests (pooled trees, batch-wide distance memo);
 * :mod:`repro.core.matcher` -- the common matcher interface and statistics;
 * :mod:`repro.core.naive` -- the kinetic-tree baseline that verifies every
   vehicle (Section 3.3, "a naive method");
@@ -16,6 +18,7 @@ The subpackage contains
   admin interface.
 """
 
+from repro.core.batch import BatchContext, BatchStatistics
 from repro.core.config import SystemConfig
 from repro.core.dispatcher import Dispatcher, DispatchOutcome, OptionPolicy
 from repro.core.dual_side import DualSideSearchMatcher
@@ -26,6 +29,8 @@ from repro.core.pricing import LinearPriceModel, PriceModel, rider_price_ratio
 from repro.core.single_side import SingleSideSearchMatcher
 
 __all__ = [
+    "BatchContext",
+    "BatchStatistics",
     "Dispatcher",
     "DispatchOutcome",
     "DualSideSearchMatcher",

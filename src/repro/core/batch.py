@@ -1,0 +1,233 @@
+"""Shared routing contexts for a batch of simultaneous requests.
+
+The greedy strategy of Section 2.5 processes simultaneous requests one after
+the other, but nothing about the *routing* side of a request depends on the
+order: a request's direct distance and its start-rooted distance tree are
+functions of the road network only.  :class:`BatchContext` therefore pools
+that work for a whole tick's worth of requests:
+
+* start vertices are **deduplicated** -- requests sharing a start vertex
+  share one distance tree, computed exactly once through one
+  :class:`~repro.roadnet.routing.RoutingEngine` call sequence and pinned by
+  reference for the lifetime of the batch (engine cache eviction can never
+  force a recomputation mid-batch, no matter how many requests the tick
+  carries);
+* each request receives a regular
+  :class:`~repro.core.context.MatchContext` built from the pooled tree, so
+  the matchers are oblivious to whether a context was built per-request or
+  per-batch;
+* endpoint errors (unknown vertex, unreachable destination) are *recorded*
+  instead of raised, and surface when the pipeline reaches the failing
+  request in submission order -- exactly when the sequential loop would have
+  raised them, so earlier requests still commit.
+
+:class:`BatchStatistics` reports the shared-tree hit rate the benchmark
+harness records (``bench_e12_batch_dispatch.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.context import MatchContext
+from repro.errors import DisconnectedError, VertexNotFoundError
+from repro.model.request import Request
+from repro.roadnet.graph import VertexId
+from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.routing import RoutingEngine
+
+__all__ = ["BatchStatistics", "BatchMatchContext", "BatchContext"]
+
+
+@dataclass
+class BatchStatistics:
+    """How much routing work the batch shared across its requests.
+
+    For a batch whose endpoints all resolve,
+    ``trees_computed + shared_tree_hits == requests``; requests with an
+    unknown start vertex receive no tree and count in neither term.
+    """
+
+    #: number of requests in the batch
+    requests: int = 0
+    #: start-rooted trees actually computed (one per distinct start vertex)
+    trees_computed: int = 0
+    #: requests whose tree was already pooled by an earlier request
+    shared_tree_hits: int = 0
+
+    @property
+    def shared_tree_hit_rate(self) -> float:
+        """Fraction of tree-resolved requests served by an already-pooled tree."""
+        resolved = self.trees_computed + self.shared_tree_hits
+        if not resolved:
+            return 0.0
+        return self.shared_tree_hits / resolved
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for reports and benchmark records."""
+        return {
+            "requests": float(self.requests),
+            "trees_computed": float(self.trees_computed),
+            "shared_tree_hits": float(self.shared_tree_hits),
+            "shared_tree_hit_rate": self.shared_tree_hit_rate,
+        }
+
+
+@dataclass
+class BatchMatchContext(MatchContext):
+    """A :class:`MatchContext` whose exact distances are memoised batch-wide.
+
+    Verifying a candidate vehicle issues point-to-point queries for the legs
+    of its *existing* schedules (replaced legs, prefix distances); those legs
+    are properties of the fleet, not of the request, so every request of a
+    batch re-asks the very same queries.  All contexts of one
+    :class:`BatchContext` share one ``shared_distances`` memo keyed by the
+    (order-normalised) endpoint pair: the first request pays the engine query,
+    every later request of the batch hits the memo -- immune to engine cache
+    eviction, and bounded by the batch's actual verification working set.
+
+    The memo stores the engine's own answers verbatim (the engine roots every
+    point query canonically), so batched verifications see bit-for-bit the
+    floats a per-request context would.
+    """
+
+    #: batch-wide exact-distance memo shared by every context of the batch
+    shared_distances: Dict[Tuple[VertexId, VertexId], float] = field(default_factory=dict)
+
+    def distance(self, source: VertexId, target: VertexId) -> float:
+        """Exact distance; start-rooted legs from the pinned tree, others memoised."""
+        start = self.request.start
+        if source == start:
+            return self.from_start(target)
+        if target == start:
+            return self.from_start(source)
+        key = (source, target) if source <= target else (target, source)
+        value = self.shared_distances.get(key)
+        if value is None:
+            value = self.engine.distance(source, target)
+            self.shared_distances[key] = value
+        return value
+
+
+class BatchContext:
+    """Pooled per-request :class:`MatchContext`\\ s for one dispatch batch.
+
+    Build one with :meth:`create`; fetch a request's context (or its recorded
+    endpoint error) with :meth:`context_for` when the pipeline reaches that
+    request in submission order.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[Request],
+        contexts: Dict[int, MatchContext],
+        errors: Dict[int, Exception],
+        statistics: BatchStatistics,
+        seconds: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self._requests = list(requests)
+        self._contexts = contexts
+        self._errors = errors
+        self._seconds = seconds or {}
+        self.statistics = statistics
+
+    @classmethod
+    def create(
+        cls, requests: Sequence[Request], engine: RoutingEngine, grid: GridIndex
+    ) -> "BatchContext":
+        """Pool trees and direct distances for ``requests`` (in order).
+
+        Trees are requested from the engine once per distinct start vertex;
+        requests sharing a start reuse the pooled reference.  Endpoint
+        failures are recorded per request, not raised.
+
+        Memory: the pool holds one O(V) tree per distinct start vertex of the
+        batch -- the price of immunity to engine cache eviction.  The pool
+        itself keeps no strong references after construction (each context
+        pins only its own tree), and :meth:`release` lets the pipeline drop a
+        request's context -- and with it the tree, once no later same-start
+        request needs it -- as soon as its turn is decided, so peak usage
+        shrinks as the batch drains.
+        """
+        trees: Dict[VertexId, Mapping[VertexId, float]] = {}
+        tree_errors: Dict[VertexId, Exception] = {}
+        contexts: Dict[int, MatchContext] = {}
+        errors: Dict[int, Exception] = {}
+        seconds: Dict[int, float] = {}
+        shared_distances: Dict[Tuple[VertexId, VertexId], float] = {}
+        statistics = BatchStatistics(requests=len(requests))
+
+        for index, request in enumerate(requests):
+            start = request.start
+            started = time.perf_counter()
+            if start in trees:
+                statistics.shared_tree_hits += 1
+            elif start not in tree_errors:
+                try:
+                    trees[start] = engine.distances_from(start)
+                    statistics.trees_computed += 1
+                except VertexNotFoundError as error:
+                    tree_errors[start] = error
+            seconds[index] = time.perf_counter() - started
+            if start in tree_errors:
+                errors[index] = tree_errors[start]
+                continue
+            tree = trees[start]
+            if start == request.destination:
+                direct = 0.0
+            else:
+                try:
+                    direct = tree[request.destination]
+                except KeyError:
+                    errors[index] = DisconnectedError(start, request.destination)
+                    continue
+            contexts[index] = BatchMatchContext(
+                request=request,
+                engine=engine,
+                grid=grid,
+                direct=direct,
+                start_tree=tree,
+                shared_distances=shared_distances,
+            )
+        return cls(requests, contexts, errors, statistics, seconds)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    @property
+    def requests(self) -> List[Request]:
+        """The batch's requests in submission order."""
+        return list(self._requests)
+
+    def error_for(self, index: int) -> Optional[Exception]:
+        """The endpoint error recorded for request ``index`` (``None`` if fine)."""
+        return self._errors.get(index)
+
+    def context_for(self, index: int) -> MatchContext:
+        """Return the pooled context of request ``index``.
+
+        Raises:
+            VertexNotFoundError / DisconnectedError: the error the sequential
+                loop would have raised when it reached this request.
+        """
+        error = self._errors.get(index)
+        if error is not None:
+            raise error
+        return self._contexts[index]
+
+    def context_seconds(self, index: int) -> float:
+        """Wall time spent building request ``index``'s share of the pool.
+
+        The first request of a start vertex is billed its tree computation;
+        requests served by an already-pooled tree are billed (almost)
+        nothing.  The pipeline adds this to each outcome's ``match_seconds``
+        so response times keep covering the request-side routing work, as
+        they did when contexts were built inline.
+        """
+        return self._seconds.get(index, 0.0)
+
+    def release(self, index: int) -> None:
+        """Drop request ``index``'s context (and its tree pin, if the last)."""
+        self._contexts.pop(index, None)

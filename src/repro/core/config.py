@@ -45,6 +45,10 @@ class SystemConfig:
         price_model: the price calculator.
         routing_backend: which routing engine answers shortest-path queries
             ("dict", "csr" or "csr+alt"; see :mod:`repro.roadnet.routing`).
+        match_shards: number of fleet shards the batch dispatch pipeline
+            partitions vehicles into (by grid cell); per-shard skylines are
+            merged by dominance, so any value yields the same options.  ``1``
+            disables sharding.
     """
 
     vehicle_capacity: int = 4
@@ -55,6 +59,7 @@ class SystemConfig:
     matcher_name: str = "single_side"
     price_model: LinearPriceModel = field(default_factory=LinearPriceModel)
     routing_backend: str = "dict"
+    match_shards: int = 1
 
     _VALID_MATCHERS = ("single_side", "dual_side", "naive")
 
@@ -81,6 +86,8 @@ class SystemConfig:
             raise ConfigurationError(
                 f"routing_backend must be one of {ROUTING_BACKENDS}, got {self.routing_backend!r}"
             )
+        if self.match_shards < 1:
+            raise ConfigurationError(f"match_shards must be >= 1, got {self.match_shards}")
 
     def with_updates(self, **changes: object) -> "SystemConfig":
         """Return a copy with the given fields replaced (admin panel edits)."""

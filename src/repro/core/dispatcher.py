@@ -13,7 +13,29 @@ The dispatcher glues the matcher, the fleet and the price model together:
 When several requests are issued simultaneously, PTRider applies a greedy
 strategy (Section 2.5): requests are processed one after the other in
 submission order, each seeing the fleet state left behind by its
-predecessors; :meth:`Dispatcher.dispatch_batch` implements exactly that.
+predecessors.  :meth:`Dispatcher.dispatch_batch` preserves exactly those
+semantics but runs them as a staged pipeline instead of a literal loop:
+
+1. **normalise** every request of the batch;
+2. **build a** :class:`~repro.core.batch.BatchContext` pooling the
+   start-rooted distance trees and direct distances (requests sharing a start
+   vertex share one tree);
+3. **collect per-shard skylines**: the fleet is partitioned into
+   ``SystemConfig.match_shards`` disjoint
+   :class:`~repro.vehicles.fleet.ShardedFleetView`\\ s and the matcher
+   verifies each shard independently;
+4. **merge** the per-shard skylines by dominance
+   (:meth:`~repro.model.options.Skyline.merge`);
+5. **greedily commit** in submission order -- a commit changes exactly one
+   vehicle and therefore the contents of exactly one shard, which is what
+   keeps every other shard's search results valid under the interleaved
+   commits; each request's per-shard skylines are computed just-in-time at
+   its turn, every shard searched exactly once per request.
+
+Every pruning and merge step is lossless and deterministic, so the pipeline
+yields byte-identical options, choices and fleet end-state to the sequential
+loop for any shard count (property-tested in
+``tests/property/test_batch_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -23,11 +45,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.batch import BatchContext, BatchStatistics
 from repro.core.config import SystemConfig
 from repro.core.insertion import feasible_schedules_for_commit
 from repro.core.matcher import Matcher
 from repro.errors import MatchingError, NoMatchError, UnknownOptionError
-from repro.model.options import RideOption
+from repro.model.options import RideOption, Skyline
 from repro.model.request import Request
 from repro.vehicles.fleet import Fleet
 from repro.vehicles.schedule import evaluate_schedule
@@ -61,12 +84,22 @@ class OptionPolicy(enum.Enum):
         if self is OptionPolicy.FASTEST:
             return min(options, key=lambda o: (o.pickup_distance, o.price, o.vehicle_id))
         if self is OptionPolicy.BALANCED:
-            max_price = max(o.price for o in options) or 1.0
-            max_pickup = max(o.pickup_distance for o in options) or 1.0
-            return min(
-                options,
-                key=lambda o: (o.price / max_price + o.pickup_distance / max_pickup, o.vehicle_id),
-            )
+            # Normalise each axis independently, with an explicit zero check
+            # per axis: when every option ties at 0.0 on one axis (e.g. all
+            # prices are 0.0 but pick-ups differ), that axis contributes
+            # nothing and the other axis alone decides -- instead of a
+            # truthiness guard silently rescaling one axis against the other.
+            max_price = max(o.price for o in options)
+            max_pickup = max(o.pickup_distance for o in options)
+
+            def balanced_cost(option: RideOption) -> float:
+                price_term = option.price / max_price if max_price > 0.0 else 0.0
+                pickup_term = (
+                    option.pickup_distance / max_pickup if max_pickup > 0.0 else 0.0
+                )
+                return price_term + pickup_term
+
+            return min(options, key=lambda o: (balanced_cost(o), o.vehicle_id))
         return options[0]
 
 
@@ -78,6 +111,10 @@ class DispatchOutcome:
     options: Tuple[RideOption, ...]
     chosen: Optional[RideOption]
     match_seconds: float
+    #: the request's direct distance ``dist(s, d)``, carried from the match
+    #: context so consumers (e.g. the simulation statistics) need not
+    #: re-query the routing engine
+    direct_distance: float = 0.0
 
     @property
     def matched(self) -> bool:
@@ -99,6 +136,8 @@ class Dispatcher:
         self._config = config or matcher.config
         #: requests currently waiting or riding, keyed by id (for the service layer)
         self._active_requests: Dict[str, str] = {}
+        #: shared-tree statistics of the most recent batch call (CLI / benchmarks)
+        self.last_batch_statistics: Optional[BatchStatistics] = None
 
     @property
     def fleet(self) -> Fleet:
@@ -149,8 +188,18 @@ class Dispatcher:
         """Step (ii): return the qualified, non-dominated options for ``request``."""
         return self._matcher.match(request)
 
-    def commit(self, request: Request, option: RideOption) -> None:
+    def commit(
+        self, request: Request, option: RideOption, direct: Optional[float] = None
+    ) -> None:
         """Step (iii): the rider chose ``option``; update vehicle and indexes.
+
+        Args:
+            request: the request being committed.
+            option: the option the rider accepted.
+            direct: the request's direct distance when the caller already
+                holds it (``dispatch``/``dispatch_batch`` pass the match
+                context's value so the routing engine is not re-queried);
+                recomputed through the fleet's routing engine otherwise.
 
         Raises:
             UnknownOptionError: when the option does not belong to the request
@@ -160,8 +209,9 @@ class Dispatcher:
             raise UnknownOptionError(
                 f"option for request {option.request_id} cannot serve {request.request_id}"
             )
+        engine = self._fleet.routing_engine
         vehicle = self._fleet.get(option.vehicle_id)
-        schedules = feasible_schedules_for_commit(vehicle, request, self._fleet.oracle, self._fleet.grid)
+        schedules = feasible_schedules_for_commit(vehicle, request, engine, self._fleet.grid)
         # The accepted option fixes the rider's *planned* pick-up; from now on
         # the waiting-time condition (Definition 2, condition 3) applies to the
         # new request too, so schedules that would already pick the rider up
@@ -178,7 +228,8 @@ class Dispatcher:
             raise UnknownOptionError(
                 f"the chosen schedule of vehicle {option.vehicle_id} is no longer feasible"
             )
-        direct = self._fleet.oracle.distance(request.start, request.destination)
+        if direct is None:
+            direct = engine.distance(request.start, request.destination)
         vehicle.assign(
             request,
             planned_pickup_distance=option.pickup_distance,
@@ -191,10 +242,10 @@ class Dispatcher:
     def _filter_by_promised_pickup(self, vehicle, request, option, schedules):
         """Keep only schedules honouring the promised pick-up within ``w``."""
         budget = option.pickup_distance + request.max_waiting + 1e-9
-        oracle = self._fleet.oracle
+        engine = self._fleet.routing_engine
         kept = []
         for schedule in schedules:
-            metrics = evaluate_schedule(vehicle.location, schedule, oracle.distance, vehicle.offset)
+            metrics = evaluate_schedule(vehicle.location, schedule, engine.distance, vehicle.offset)
             if metrics.pickup_distance[request.request_id] <= budget:
                 kept.append(schedule)
         return kept
@@ -216,31 +267,192 @@ class Dispatcher:
         if apply_global_constraints:
             request = self.normalise(request)
         started = time.perf_counter()
-        options = self.submit(request)
+        context = self._matcher.make_context(request)
+        options = self._matcher.match_context(context)
         elapsed = time.perf_counter() - started
         if not options:
-            return DispatchOutcome(request=request, options=(), chosen=None, match_seconds=elapsed)
+            return DispatchOutcome(
+                request=request,
+                options=(),
+                chosen=None,
+                match_seconds=elapsed,
+                direct_distance=context.direct,
+            )
         chosen = policy.choose(options)
-        self.commit(request, chosen)
+        self.commit(request, chosen, direct=context.direct)
         return DispatchOutcome(
-            request=request, options=tuple(options), chosen=chosen, match_seconds=elapsed
+            request=request,
+            options=tuple(options),
+            chosen=chosen,
+            match_seconds=elapsed,
+            direct_distance=context.direct,
         )
+
+    def dispatch_sequential(
+        self,
+        requests: Iterable[Request],
+        policy: OptionPolicy = OptionPolicy.CHEAPEST,
+        apply_global_constraints: bool = True,
+    ) -> List[DispatchOutcome]:
+        """The literal request-by-request greedy loop (Section 2.5).
+
+        Kept as the correctness reference the batched pipeline is
+        property-tested against, and as the sequential arm of the
+        batched-vs-sequential benchmark (E12).
+        """
+        return [
+            self.dispatch(request, policy=policy, apply_global_constraints=apply_global_constraints)
+            for request in requests
+        ]
 
     def dispatch_batch(
         self,
         requests: Iterable[Request],
         policy: OptionPolicy = OptionPolicy.CHEAPEST,
         apply_global_constraints: bool = True,
+        shards: Optional[int] = None,
+        on_outcome: Optional[Callable[[DispatchOutcome], None]] = None,
     ) -> List[DispatchOutcome]:
-        """Greedy handling of simultaneous requests (Section 2.5).
+        """Greedy handling of simultaneous requests as a staged pipeline.
 
-        Requests are processed in the given order; each sees the fleet state
-        produced by its predecessors' commits.
+        Semantically identical to :meth:`dispatch_sequential` -- requests are
+        decided in submission order, each seeing the fleet state its
+        predecessors' commits produced -- but the work is staged: routing
+        contexts are pooled batch-wide (shared start trees plus a batch-wide
+        schedule-leg memo), matching runs per fleet shard and the per-shard
+        skylines are merged by dominance.  A commit affects exactly one shard
+        (the chosen vehicle's), which is what keeps the per-shard searches of
+        every other shard valid under the interleaved commits; each request's
+        shard skylines are computed just-in-time at its turn, so no shard is
+        ever searched twice for the same request.
+
+        Args:
+            requests: the simultaneous requests, in submission order.
+            policy: the stand-in rider choosing from each skyline.
+            apply_global_constraints: normalise requests first (Section 3.1).
+            shards: shard-count override; defaults to
+                ``SystemConfig.match_shards``.
+            on_outcome: optional callback invoked with each outcome as soon
+                as its commit lands -- callers that must record bookkeeping
+                even when a *later* request of the batch raises (e.g. the
+                simulation engine) hook in here, exactly as if they had run
+                the sequential loop themselves.
         """
-        return [
-            self.dispatch(request, policy=policy, apply_global_constraints=apply_global_constraints)
-            for request in requests
-        ]
+        prepared = self._prepare_batch(requests, apply_global_constraints, shards)
+        if prepared is None:
+            return []
+        request_list, batch, views = prepared
+
+        # Stage: per-shard collect/verify + merge + greedy commit, in
+        # submission order.
+        outcomes: List[DispatchOutcome] = []
+        for index, request in enumerate(request_list):
+            context = batch.context_for(index)  # re-raises recorded errors
+            started = time.perf_counter()
+            shard_skylines = [
+                self._matcher.collect_shard(context, view) for view in views
+            ]
+            merged = Skyline.merge(shard_skylines).options()
+            # The request's share of the pooled context building counts
+            # towards its response time, as it did when ``dispatch`` built
+            # the context inline.
+            elapsed = batch.context_seconds(index) + (time.perf_counter() - started)
+            self._matcher.statistics.requests_answered += 1
+            self._matcher.statistics.options_returned += len(merged)
+            if merged:
+                chosen = policy.choose(merged)
+                self.commit(request, chosen, direct=context.direct)
+                outcome = DispatchOutcome(
+                    request=request,
+                    options=tuple(merged),
+                    chosen=chosen,
+                    match_seconds=elapsed,
+                    direct_distance=context.direct,
+                )
+            else:
+                outcome = DispatchOutcome(
+                    request=request,
+                    options=(),
+                    chosen=None,
+                    match_seconds=elapsed,
+                    direct_distance=context.direct,
+                )
+            batch.release(index)  # free the pooled tree once the turn is over
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+        return outcomes
+
+    def _prepare_batch(
+        self,
+        requests: Iterable[Request],
+        apply_global_constraints: bool,
+        shards: Optional[int],
+    ) -> Optional[Tuple[List[Request], BatchContext, List[object]]]:
+        """Shared batch prelude: normalise, validate shards, pool contexts.
+
+        Returns ``None`` for an empty batch.
+        """
+        request_list = list(requests)
+        if apply_global_constraints:
+            request_list = [self.normalise(request) for request in request_list]
+        if not request_list:
+            return None
+        shard_count = shards if shards is not None else self._config.match_shards
+        if shard_count < 1:
+            raise MatchingError(f"shard count must be >= 1, got {shard_count}")
+        if not self._matcher.supports_sharding:
+            shard_count = 1
+        batch = BatchContext.create(
+            request_list, self._fleet.routing_engine, self._fleet.grid
+        )
+        self.last_batch_statistics = batch.statistics
+        return request_list, batch, self._fleet.shard_views(shard_count)
+
+    def match_batch(
+        self,
+        requests: Iterable[Request],
+        apply_global_constraints: bool = True,
+        shards: Optional[int] = None,
+        on_error: str = "raise",
+    ) -> List[List[RideOption]]:
+        """Skylines for a batch of requests without committing any of them.
+
+        The service layer's batch-submit flow uses this: all requests are
+        answered against the *current* fleet state through one shared
+        :class:`~repro.core.batch.BatchContext` (the riders choose -- and
+        commit -- later, individually).
+
+        Args:
+            requests: the requests to answer, in order.
+            apply_global_constraints: normalise requests first.
+            shards: shard-count override (defaults to the config's).
+            on_error: what a recorded endpoint error (unknown vertex,
+                unreachable destination) does to its request: ``"raise"``
+                (per-request ``submit`` parity) or ``"empty"`` -- the request
+                simply gets no options, so one broken trip cannot void the
+                rest of the burst (the service's batch-submit flow uses
+                this).
+        """
+        if on_error not in ("raise", "empty"):
+            raise MatchingError(f"on_error must be 'raise' or 'empty', got {on_error!r}")
+        prepared = self._prepare_batch(requests, apply_global_constraints, shards)
+        if prepared is None:
+            return []
+        request_list, batch, views = prepared
+        results: List[List[RideOption]] = []
+        for index in range(len(request_list)):
+            if on_error == "empty" and batch.error_for(index) is not None:
+                results.append([])
+                continue
+            context = batch.context_for(index)
+            merged = Skyline.merge(
+                self._matcher.collect_shard(context, view) for view in views
+            ).options()
+            self._matcher.statistics.requests_answered += 1
+            self._matcher.statistics.options_returned += len(merged)
+            results.append(merged)
+        return results
 
     # ------------------------------------------------------------------
     # lifecycle notifications from the simulation engine

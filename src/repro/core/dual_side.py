@@ -48,10 +48,20 @@ class DualSideSearchMatcher(SingleSideSearchMatcher):
             return super()._price_lower_bound(vehicle, context)
         request = context.request
         start_side = added_distance_lower_bound(
-            vehicle, request.start, self._grid, self._engine, bound=context.lower_bound
+            vehicle,
+            request.start,
+            self._grid,
+            self._engine,
+            bound=context.lower_bound,
+            distance=context.distance,
         )
         destination_side = added_distance_lower_bound(
-            vehicle, request.destination, self._grid, self._engine, bound=context.lower_bound
+            vehicle,
+            request.destination,
+            self._grid,
+            self._engine,
+            bound=context.lower_bound,
+            distance=context.distance,
         )
         added_lb = max(start_side, destination_side)
         return self._price_model.price(request.riders, added_lb, context.direct)

@@ -92,6 +92,13 @@ class Matcher(abc.ABC):
     #: human-readable algorithm name (used by the CLI, service and benchmarks)
     name = "abstract"
 
+    #: whether per-shard results of this matcher may be merged by dominance.
+    #: True for skyline matchers (the merge is lossless, see
+    #: ``Skyline.merge``); single-option baselines whose result is *not* a
+    #: dominance skyline set this to False and are always matched against the
+    #: whole fleet, even when the batch pipeline shards.
+    supports_sharding = True
+
     def __init__(
         self,
         fleet: Fleet,
@@ -143,16 +150,40 @@ class Matcher(abc.ABC):
         The returned list is the skyline over every option produced by
         :meth:`_collect_options`, sorted by ascending pick-up distance.
         """
+        return self.match_context(self.make_context(request))
+
+    def match_context(self, context: MatchContext, fleet: Optional[object] = None) -> List[RideOption]:
+        """Match against an injected context and fleet view.
+
+        ``fleet`` may be the whole :class:`~repro.vehicles.fleet.Fleet`
+        (default) or a :class:`~repro.vehicles.fleet.ShardedFleetView`; the
+        batch pipeline injects pre-built contexts (shared distance trees) and
+        per-shard views here instead of letting the matcher reach into the
+        global fleet.
+        """
         self.statistics.requests_answered += 1
-        context = self.make_context(request)
-        options = self._collect_options(context)
+        options = self._collect_options(context, fleet if fleet is not None else self._fleet)
         result = skyline_of(options)
         self.statistics.options_returned += len(result)
         return result
 
+    def collect_shard(self, context: MatchContext, fleet: object) -> List[RideOption]:
+        """Per-shard skyline for the batch pipeline.
+
+        Unlike :meth:`match_context` this does not bump the request-level
+        counters -- the pipeline counts each rider request once after merging
+        the per-shard skylines.
+        """
+        return skyline_of(self._collect_options(context, fleet))
+
     @abc.abstractmethod
-    def _collect_options(self, context: MatchContext) -> List[RideOption]:
-        """Produce candidate options (subclasses decide which vehicles to verify)."""
+    def _collect_options(self, context: MatchContext, fleet: object) -> List[RideOption]:
+        """Produce candidate options over ``fleet`` (a Fleet or a ShardedFleetView).
+
+        Subclasses decide which of the view's vehicles to verify and in what
+        order; they must query vehicles through ``fleet``, never through the
+        matcher's own fleet reference, so the batch pipeline can shard.
+        """
 
     # ------------------------------------------------------------------
     # shared verification step
@@ -219,7 +250,12 @@ class Matcher(abc.ABC):
             pickup_lb = self._pickup_lower_bound(vehicle, context)
             return self._price_model.price(request.riders, pickup_lb + direct, direct)
         added_lb = added_distance_lower_bound(
-            vehicle, request.start, self._grid, self._engine, bound=context.lower_bound
+            vehicle,
+            request.start,
+            self._grid,
+            self._engine,
+            bound=context.lower_bound,
+            distance=context.distance,
         )
         return self._price_model.price(request.riders, added_lb, direct)
 
@@ -230,6 +266,7 @@ def added_distance_lower_bound(
     grid: GridIndex,
     oracle: RoutingEngine,
     bound: Optional[Callable[[int, int], float]] = None,
+    distance: Optional[Callable[[int, int], float]] = None,
 ) -> float:
     """Admissible lower bound on the extra distance needed to visit ``vertex``.
 
@@ -243,9 +280,13 @@ def added_distance_lower_bound(
 
     ``bound`` overrides the leg lower bound (defaults to the grid cell bound);
     the matchers pass :meth:`MatchContext.lower_bound` so ALT landmark bounds
-    tighten the estimate when the routing engine provides them.
+    tighten the estimate when the routing engine provides them.  ``distance``
+    overrides the exact replaced-leg distance (defaults to ``oracle.distance``);
+    the matchers pass :meth:`MatchContext.distance` so batched dispatch can
+    answer the legs from its batch-wide memo.
     """
     bound_fn = bound if bound is not None else grid.distance_lower_bound
+    distance_fn = distance if distance is not None else oracle.distance
     schedules = vehicle.kinetic_tree.schedules()
     origin = vehicle.location
     if not schedules:
@@ -254,7 +295,7 @@ def added_distance_lower_bound(
     for schedule in schedules:
         previous = origin
         for stop in schedule:
-            replaced = oracle.distance(previous, stop.vertex)
+            replaced = distance_fn(previous, stop.vertex)
             detour = (
                 bound_fn(previous, vertex)
                 + bound_fn(vertex, stop.vertex)

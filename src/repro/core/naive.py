@@ -32,9 +32,9 @@ class NaiveKineticTreeMatcher(Matcher):
 
     name = "naive"
 
-    def _collect_options(self, context: MatchContext) -> List[RideOption]:
+    def _collect_options(self, context: MatchContext, fleet) -> List[RideOption]:
         options: List[RideOption] = []
-        for vehicle in self._fleet.vehicles():
+        for vehicle in fleet.vehicles():
             self.statistics.vehicles_considered += 1
             options.extend(self._verify_vehicle(vehicle, context, use_bound_rejection=False))
         return options

@@ -19,7 +19,11 @@ vehicle list are processed separately:
 
 The request's direct distance and its rooted distance tree live in the
 per-request :class:`~repro.core.context.MatchContext`, so no vehicle
-verification re-issues a request-side shortest-path query.
+verification re-issues a request-side shortest-path query.  Both the context
+and the fleet are injected arguments: the batch pipeline passes pooled
+contexts and per-shard :class:`~repro.vehicles.fleet.ShardedFleetView`\\ s,
+and the search is oblivious to whether it sees one shard or the whole fleet
+(the pruning below is admissible against any subset of the fleet).
 
 The cell expansion itself terminates early when the cell-level lower bound
 proves that **no** vehicle registered in the remaining cells can contribute a
@@ -45,7 +49,7 @@ class SingleSideSearchMatcher(Matcher):
 
     name = "single_side"
 
-    def _collect_options(self, context: MatchContext) -> List[RideOption]:
+    def _collect_options(self, context: MatchContext, fleet) -> List[RideOption]:
         request, direct = context.request, context.direct
         start_cell = self._grid.cell_of_vertex(request.start).cell_id
         start_min = self._grid.vertex_min(request.start)
@@ -83,9 +87,9 @@ class SingleSideSearchMatcher(Matcher):
                 skip_empty_lists = True
 
             if not skip_empty_lists:
-                for vehicle in self._fleet.empty_vehicles_in_cell(cell.cell_id):
+                for vehicle in fleet.empty_vehicles_in_cell(cell.cell_id):
                     self._consider(vehicle, context, max_pickup_value, seen, skyline)
-            for vehicle in self._fleet.nonempty_vehicles_in_cell(cell.cell_id):
+            for vehicle in fleet.nonempty_vehicles_in_cell(cell.cell_id):
                 self._consider(vehicle, context, max_pickup_value, seen, skyline)
 
         return skyline.options()

@@ -147,15 +147,22 @@ class Skyline:
         """Insert ``option``; return ``True`` when it enters the skyline.
 
         Dominated candidates are rejected; existing options dominated by the
-        newcomer are evicted.
+        newcomer are evicted.  When the newcomer ties an existing member on
+        both coordinates, the representative with the smaller ``vehicle_id``
+        is kept -- making the surviving skyline independent of insertion
+        order, which the sharded batch pipeline relies on when it merges
+        per-shard skylines (see :meth:`merge`).
         """
-        for existing in self._options:
+        for index, existing in enumerate(self._options):
             if dominates(existing, option):
                 return False
             if (
                 existing.pickup_distance == option.pickup_distance
                 and existing.price == option.price
             ):
+                if option.vehicle_id < existing.vehicle_id:
+                    self._options[index] = option
+                    return True
                 return False
         self._options = [existing for existing in self._options if not dominates(option, existing)]
         self._options.append(option)
@@ -164,6 +171,26 @@ class Skyline:
     def extend(self, options: Iterable[RideOption]) -> int:
         """Add many options; return how many entered the skyline."""
         return sum(1 for option in options if self.add(option))
+
+    @classmethod
+    def merge(cls, skylines: Iterable[Iterable[RideOption]]) -> "Skyline":
+        """Merge several (per-shard) skylines into one by dominance.
+
+        The result only depends on the *set* of options across all inputs,
+        never on how they were partitioned: options are folded in the global
+        ``(pickup, price, vehicle_id)`` order and equal points collapse to the
+        smallest ``vehicle_id``, so merging the per-shard skylines of a
+        partitioned fleet reproduces exactly the skyline a single matcher
+        would compute over the whole fleet.
+        """
+        merged = cls()
+        pooled = sorted(
+            (option for skyline in skylines for option in skyline),
+            key=lambda o: (o.pickup_distance, o.price, o.vehicle_id),
+        )
+        for option in pooled:
+            merged.add(option)
+        return merged
 
     def would_be_dominated(self, pickup_lower_bound: float, price_lower_bound: float) -> bool:
         """Return ``True`` when *no* option at least as bad as the bounds can survive.

@@ -443,12 +443,15 @@ class CSREngine(RoutingEngine):
         self.stats.queries += 1
         if source == target:
             return 0.0
-        source_index = self._graph.index(source)
-        target_index = self._graph.index(target)
-        if source_index not in self._trees and target_index in self._trees:
-            # Undirected network: the tree rooted at ``target`` answers too.
-            source_index, target_index = target_index, source_index
-        value = self._tree(source_index)[target_index]
+        # Root the answering tree at the smaller vertex id (the network is
+        # undirected, so either root is correct).  The canonical root makes
+        # every answer bit-for-bit independent of which trees happen to be
+        # cached -- the batched dispatch pipeline relies on this to reproduce
+        # the sequential loop's floats exactly.
+        root, leaf = (source, target) if source <= target else (target, source)
+        root_index = self._graph.index(root)
+        leaf_index = self._graph.index(leaf)
+        value = self._tree(root_index)[leaf_index]
         if value == INFINITY:
             raise DisconnectedError(source, target)
         return value

@@ -407,24 +407,27 @@ class DistanceOracle:
     def distance(self, source: VertexId, target: VertexId) -> float:
         """Return ``dist(source, target)``, computing and caching as needed.
 
+        The tree the answer is read from is always rooted at the *smaller*
+        endpoint (the graph is symmetric, so either root is correct).  Fixing
+        the root canonically -- rather than preferring whichever tree happens
+        to be cached -- makes every point-to-point answer bit-for-bit
+        independent of cache state, which the batched dispatch pipeline
+        relies on to reproduce the sequential loop's floats exactly.
+
         Raises:
             DisconnectedError: if ``target`` is unreachable from ``source``.
         """
         self.stats.queries += 1
         if source == target:
             return 0.0
-        tree = self._trees.get(source)
+        root, leaf = (source, target) if source <= target else (target, source)
+        tree = self._trees.get(root)
         if tree is None:
-            # Symmetric graph: a cached tree rooted at ``target`` answers too.
-            tree = self._trees.get(target)
-            if tree is not None:
-                source, target = target, source
-        if tree is None:
-            tree = self._grow_tree(source)
+            tree = self._grow_tree(root)
         else:
             self.stats.cache_hits += 1
         try:
-            return tree[target]
+            return tree[leaf]
         except KeyError:
             raise DisconnectedError(source, target) from None
 

@@ -185,6 +185,50 @@ class PTRiderService:
         self._bookings[booking.booking_id] = booking
         return booking
 
+    def book_batch(self, trips: Sequence[Tuple[int, ...]]) -> List[Booking]:
+        """Batch-submit flow: one booking per ``(start, destination[, riders])``.
+
+        All trips are answered against the current fleet state through one
+        shared :class:`~repro.core.batch.BatchContext` (pooled distance trees,
+        per-shard skylines merged by dominance), so a burst of simultaneous
+        smartphone submissions pays the request-side routing work once per
+        distinct start vertex.  A trip with broken endpoints (unknown vertex,
+        unreachable destination) simply books with zero options instead of
+        voiding the rest of the burst.  Every booking stays open: the riders
+        choose (and the fleet commits) individually through :meth:`choose`.
+        """
+        requests = []
+        for trip in trips:
+            start, destination = trip[0], trip[1]
+            riders = trip[2] if len(trip) > 2 else 1
+            requests.append(
+                Request(
+                    start=start,
+                    destination=destination,
+                    riders=riders,
+                    max_waiting=self._config.max_waiting,
+                    service_constraint=self._config.service_constraint,
+                    submit_time=self._engine.time,
+                )
+            )
+        started = time.perf_counter()
+        option_lists = self._dispatcher.match_batch(
+            requests, apply_global_constraints=False, on_error="empty"
+        )
+        elapsed = time.perf_counter() - started
+        per_booking = elapsed / len(requests) if requests else 0.0
+        bookings: List[Booking] = []
+        for request, options in zip(requests, option_lists):
+            booking = Booking(
+                booking_id=f"B{next(self._booking_counter)}",
+                request=request,
+                options=tuple(options),
+                response_seconds=per_booking,
+            )
+            self._bookings[booking.booking_id] = booking
+            bookings.append(booking)
+        return bookings
+
     def options(self, booking_id: str) -> List[RideOption]:
         """Return the options of an open booking."""
         return list(self._get_booking(booking_id).options)
@@ -277,6 +321,7 @@ class PTRiderService:
         """The live statistics panel (plus matcher work counters)."""
         panel = self._engine.statistics.panel()
         panel["current_time"] = self._engine.time
+        panel["match_shards"] = float(self._config.match_shards)
         panel.update({f"matcher_{k}": v for k, v in self._matcher.statistics.as_dict().items()})
         panel.update({f"fleet_{k}": v for k, v in self._fleet.occupancy_statistics().items()})
         return panel
@@ -289,6 +334,7 @@ class PTRiderService:
         max_pickup_distance: Optional[float] = None,
         matcher_name: Optional[str] = None,
         routing_backend: Optional[str] = None,
+        match_shards: Optional[int] = None,
     ) -> SystemConfig:
         """The admin form: update global parameters and/or swap the matcher.
 
@@ -296,7 +342,10 @@ class PTRiderService:
         keep their physical capacity, as they would in reality).  Changing
         ``routing_backend`` rebuilds the routing engine (and therefore its
         caches) on the same road network; the matcher and dispatcher are
-        rebuilt on top of it.
+        rebuilt on top of it.  ``match_shards`` controls how many fleet
+        shards the batch dispatch pipeline partitions vehicles into; any
+        value yields the same options (the per-shard skylines merge
+        losslessly), so it is purely a scale-out knob.
         """
         changes: Dict[str, object] = {}
         if max_waiting is not None:
@@ -307,6 +356,8 @@ class PTRiderService:
             changes["vehicle_capacity"] = vehicle_capacity
         if max_pickup_distance is not None:
             changes["max_pickup_distance"] = max_pickup_distance
+        if match_shards is not None:
+            changes["match_shards"] = match_shards
         if matcher_name is not None:
             if matcher_name not in MATCHER_REGISTRY:
                 raise ConfigurationError(

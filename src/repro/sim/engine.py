@@ -152,29 +152,47 @@ class SimulationEngine:
             self._advance_vehicle(vehicle, self._speed * self._tick)
 
     def _release_requests(self) -> None:
-        for request in self._workload.due(self._time):
-            outcome = self._dispatcher.dispatch(request, policy=self._policy)
-            chosen = outcome.chosen
-            direct = self._oracle.distance(request.start, request.destination)
-            self.statistics.record_submission(
-                request_id=request.request_id,
-                submit_time=request.submit_time,
-                option_count=outcome.option_count,
-                response_seconds=outcome.match_seconds,
-                matched=outcome.matched,
-                planned_pickup_distance=chosen.pickup_distance if chosen else 0.0,
-                direct_distance=direct,
+        # All requests whose submission time falls inside this tick are
+        # simultaneous in the sense of Section 2.5, so they go through the
+        # dispatcher's batched greedy pipeline as one batch (shared routing
+        # contexts, optional fleet sharding) instead of one dispatch call
+        # each; the outcomes are identical to the request-by-request loop.
+        # Bookkeeping runs through ``on_outcome`` as each commit lands, so a
+        # request with broken endpoints raising mid-batch cannot discard its
+        # predecessors' records -- the failure surfaces exactly as it did
+        # when the engine dispatched request by request.
+        due = list(self._workload.due(self._time))
+        if not due:
+            return
+        self._dispatcher.dispatch_batch(
+            due, policy=self._policy, on_outcome=self._record_outcome
+        )
+
+    def _record_outcome(self, outcome) -> None:
+        """Record one dispatch outcome (statistics, assignment, idle route)."""
+        request = outcome.request
+        chosen = outcome.chosen
+        self.statistics.record_submission(
+            request_id=request.request_id,
+            submit_time=request.submit_time,
+            option_count=outcome.option_count,
+            response_seconds=outcome.match_seconds,
+            matched=outcome.matched,
+            planned_pickup_distance=chosen.pickup_distance if chosen else 0.0,
+            # the dispatcher carries the context's direct distance, so no
+            # routing-engine re-query (which could grow a fresh tree) here
+            direct_distance=outcome.direct_distance,
+        )
+        if chosen is not None:
+            vehicle = self._fleet.get(chosen.vehicle_id)
+            self._assignments[request.request_id] = _AssignmentRecord(
+                vehicle_id=chosen.vehicle_id,
+                planned_pickup_distance=chosen.pickup_distance,
+                driven_at_assignment=vehicle.distance_driven,
             )
-            if chosen is not None:
-                vehicle = self._fleet.get(chosen.vehicle_id)
-                self._assignments[request.request_id] = _AssignmentRecord(
-                    vehicle_id=chosen.vehicle_id,
-                    planned_pickup_distance=chosen.pickup_distance,
-                    driven_at_assignment=vehicle.distance_driven,
-                )
-                # A newly assigned vehicle must head for its (possibly new)
-                # first stop, so drop its cached idle route / target.
-                self._targets.pop(chosen.vehicle_id, None)
+            # A newly assigned vehicle must head for its (possibly new)
+            # first stop, so drop its cached idle route / target.
+            self._targets.pop(chosen.vehicle_id, None)
 
     def register_assignment(
         self, request_id: str, vehicle_id: str, planned_pickup_distance: float

@@ -29,7 +29,13 @@ from repro.roadnet.grid_index import CellId, GridIndex
 from repro.roadnet.routing import RoutingEngine, ensure_engine, make_engine
 from repro.vehicles.vehicle import Vehicle
 
-__all__ = ["Fleet"]
+__all__ = ["Fleet", "ShardedFleetView", "shard_of_cell"]
+
+
+def shard_of_cell(cell_id: CellId, columns: int, shard_count: int) -> int:
+    """Shard index of a grid cell: row-major cell index modulo ``shard_count``."""
+    row, column = cell_id
+    return (row * columns + column) % shard_count
 
 
 class Fleet:
@@ -230,5 +236,153 @@ class Fleet:
             "average_occupancy": total_occupancy / len(vehicles),
         }
 
+    # ------------------------------------------------------------------
+    # sharding (batch dispatch pipeline)
+    # ------------------------------------------------------------------
+    def shard_of_vehicle(self, vehicle: Vehicle, shard_count: int) -> int:
+        """Return the index of the shard that owns ``vehicle``.
+
+        Ownership is decided by the vehicle's *current-location* grid cell
+        (row-major cell index modulo ``shard_count``).  Because commits never
+        move a vehicle, ownership is stable for the whole lifetime of a
+        dispatch batch, which lets the pipeline invalidate exactly one shard
+        per commit.
+        """
+        if shard_count <= 1:
+            return 0
+        cell_id = self._grid.cell_of_vertex(vehicle.location).cell_id
+        return shard_of_cell(cell_id, self._grid.columns, shard_count)
+
+    def shard_views(self, shard_count: int) -> List["ShardedFleetView"]:
+        """Partition the fleet into ``shard_count`` disjoint read-only views.
+
+        Every vehicle belongs to exactly one view (see
+        :meth:`shard_of_vehicle`), so per-shard matching verifies each vehicle
+        exactly once and the union of the per-shard options equals the options
+        a single matcher would produce over the whole fleet.
+        """
+        if shard_count < 1:
+            raise VehicleError(f"shard_count must be >= 1, got {shard_count}")
+        return [ShardedFleetView(self, shard, shard_count) for shard in range(shard_count)]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Fleet(vehicles={len(self._vehicles)}, grid={self._grid!r})"
+
+
+class ShardedFleetView:
+    """A read-only slice of a :class:`Fleet` restricted to one shard.
+
+    The view exposes exactly the query surface the matchers consume
+    (``empty_vehicles_in_cell`` / ``nonempty_vehicles_in_cell`` / ``vehicles``
+    plus the shared grid and routing engine), filtered down to the vehicles
+    the shard owns.  A matcher handed a view instead of the fleet therefore
+    produces the skyline over that shard's vehicles only; the batch pipeline
+    merges the per-shard skylines by dominance
+    (:meth:`repro.model.options.Skyline.merge`).
+
+    Vehicles are partitioned by their current-location grid cell, so a
+    non-empty vehicle whose schedule stops span several cells is still seen by
+    exactly one shard -- no cross-shard duplicate verification, and a commit
+    dirties only the committed vehicle's own shard.
+    """
+
+    __slots__ = ("_fleet", "_shard", "_shard_count")
+
+    def __init__(self, fleet: Fleet, shard: int, shard_count: int) -> None:
+        if shard_count < 1:
+            raise VehicleError(f"shard_count must be >= 1, got {shard_count}")
+        if not 0 <= shard < shard_count:
+            raise VehicleError(f"shard must be in [0, {shard_count}), got {shard}")
+        self._fleet = fleet
+        self._shard = shard
+        self._shard_count = shard_count
+
+    # -- identity ------------------------------------------------------
+    @property
+    def fleet(self) -> Fleet:
+        """The underlying (whole) fleet."""
+        return self._fleet
+
+    @property
+    def shard(self) -> int:
+        """This view's shard index."""
+        return self._shard
+
+    @property
+    def shard_count(self) -> int:
+        """Total number of shards in the partition."""
+        return self._shard_count
+
+    def owns(self, vehicle: Vehicle) -> bool:
+        """``True`` when this shard is responsible for ``vehicle``."""
+        return self._fleet.shard_of_vehicle(vehicle, self._shard_count) == self._shard
+
+    # -- the matcher-facing query surface ------------------------------
+    @property
+    def grid(self) -> GridIndex:
+        """The grid index shared with the whole fleet."""
+        return self._fleet.grid
+
+    @property
+    def routing_engine(self) -> RoutingEngine:
+        """The routing engine shared with the whole fleet."""
+        return self._fleet.routing_engine
+
+    @property
+    def oracle(self) -> RoutingEngine:
+        """Backwards-compatible alias for :attr:`routing_engine`."""
+        return self._fleet.routing_engine
+
+    def get(self, vehicle_id: str) -> Vehicle:
+        """Return a vehicle by id (shard membership is not enforced here)."""
+        return self._fleet.get(vehicle_id)
+
+    def owns_cell(self, cell_id: CellId) -> bool:
+        """``True`` when vehicles *located* in ``cell_id`` belong to this shard."""
+        return (
+            self._shard_count <= 1
+            or shard_of_cell(cell_id, self._fleet.grid.columns, self._shard_count)
+            == self._shard
+        )
+
+    def empty_vehicles_in_cell(self, cell_id: CellId) -> List[Vehicle]:
+        """The shard's empty vehicles registered in ``cell_id``.
+
+        An empty vehicle is registered exactly in its location cell, so the
+        whole list is kept or skipped by the cell's shard -- no per-vehicle
+        ownership checks.
+        """
+        if not self.owns_cell(cell_id):
+            return []
+        return self._fleet.empty_vehicles_in_cell(cell_id)
+
+    def nonempty_vehicles_in_cell(self, cell_id: CellId) -> List[Vehicle]:
+        """The shard's non-empty vehicles registered in ``cell_id``.
+
+        Non-empty vehicles register in every cell their schedule stops touch,
+        so membership is decided per vehicle by its location cell.
+        """
+        if self._shard_count <= 1:
+            return self._fleet.nonempty_vehicles_in_cell(cell_id)
+        return [v for v in self._fleet.nonempty_vehicles_in_cell(cell_id) if self.owns(v)]
+
+    def vehicles(self) -> List[Vehicle]:
+        """Every vehicle the shard owns (sorted by id)."""
+        return [v for v in self._fleet.vehicles() if self.owns(v)]
+
+    def empty_vehicles(self) -> List[Vehicle]:
+        """The shard's empty vehicles."""
+        return [v for v in self.vehicles() if v.is_empty]
+
+    def nonempty_vehicles(self) -> List[Vehicle]:
+        """The shard's non-empty vehicles."""
+        return [v for v in self.vehicles() if not v.is_empty]
+
+    def __len__(self) -> int:
+        return len(self.vehicles())
+
+    def __iter__(self) -> Iterator[Vehicle]:
+        return iter(self.vehicles())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ShardedFleetView(shard={self._shard}/{self._shard_count}, fleet={self._fleet!r})"

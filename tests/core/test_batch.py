@@ -1,0 +1,221 @@
+"""Unit tests for the batch dispatch pipeline building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchContext, BatchStatistics
+from repro.core.config import SystemConfig
+from repro.core.dispatcher import Dispatcher, OptionPolicy
+from repro.core.single_side import SingleSideSearchMatcher
+from repro.errors import ConfigurationError, DisconnectedError, VertexNotFoundError
+from repro.model.options import RideOption, Skyline
+from repro.model.request import Request
+from repro.sim.workload import random_requests
+
+from tests.conftest import build_random_fleet
+
+
+@pytest.fixture
+def fleet():
+    return build_random_fleet(vehicles=8, seed=13)
+
+
+def _requests(fleet, count, seed=31):
+    return random_requests(fleet.grid.network, count, 6.0, 0.4, seed=seed)
+
+
+class TestBatchContext:
+    def test_shared_start_vertices_share_one_tree(self, fleet):
+        base = _requests(fleet, 1)[0]
+        twins = [
+            Request(
+                start=base.start, destination=base.destination, riders=1,
+                max_waiting=6.0, service_constraint=0.4, request_id=f"t{i}",
+            )
+            for i in range(3)
+        ]
+        batch = BatchContext.create(twins, fleet.routing_engine, fleet.grid)
+        assert batch.statistics.trees_computed == 1
+        assert batch.statistics.shared_tree_hits == 2
+        assert batch.statistics.shared_tree_hit_rate == pytest.approx(2 / 3)
+        trees = {id(batch.context_for(i).start_tree) for i in range(3)}
+        assert len(trees) == 1  # literally the same pooled object
+
+    def test_contexts_match_per_request_construction(self, fleet):
+        requests = _requests(fleet, 5)
+        batch = BatchContext.create(requests, fleet.routing_engine, fleet.grid)
+        matcher = SingleSideSearchMatcher(fleet, config=SystemConfig())
+        for index, request in enumerate(requests):
+            solo = matcher.make_context(request)
+            pooled = batch.context_for(index)
+            assert pooled.direct == solo.direct
+            assert pooled.request is request
+
+    def test_unknown_start_surfaces_at_the_requests_turn(self, fleet):
+        good = _requests(fleet, 1)[0]
+        bad = Request(
+            start=10_000, destination=good.destination, riders=1,
+            max_waiting=6.0, service_constraint=0.4, request_id="bad",
+        )
+        batch = BatchContext.create([good, bad], fleet.routing_engine, fleet.grid)
+        assert batch.error_for(0) is None
+        assert isinstance(batch.error_for(1), VertexNotFoundError)
+        batch.context_for(0)  # fine
+        with pytest.raises(VertexNotFoundError):
+            batch.context_for(1)
+
+    def test_unreachable_destination_recorded_as_disconnected(self, fleet):
+        network = fleet.grid.network
+        network.add_vertex(10_001, x=0.0, y=0.0)
+        fleet.routing_engine.invalidate()
+        request = Request(
+            start=network.vertices()[0], destination=10_001, riders=1,
+            max_waiting=6.0, service_constraint=0.4, request_id="island",
+        )
+        batch = BatchContext.create([request], fleet.routing_engine, fleet.grid)
+        assert isinstance(batch.error_for(0), DisconnectedError)
+
+    def test_statistics_as_dict(self):
+        stats = BatchStatistics(requests=4, trees_computed=3, shared_tree_hits=1)
+        flat = stats.as_dict()
+        assert flat["requests"] == 4.0
+        assert flat["shared_tree_hit_rate"] == pytest.approx(0.25)
+
+
+class TestShardedFleetView:
+    def test_views_partition_the_fleet(self, fleet):
+        for shard_count in (1, 2, 3, 4):
+            views = fleet.shard_views(shard_count)
+            assert len(views) == shard_count
+            seen = [v.vehicle_id for view in views for v in view.vehicles()]
+            assert sorted(seen) == sorted(fleet.vehicle_ids())  # disjoint + complete
+
+    def test_cell_queries_filter_by_ownership(self, fleet):
+        views = fleet.shard_views(3)
+        for cell in fleet.grid.cells():
+            whole = {v.vehicle_id for v in fleet.empty_vehicles_in_cell(cell.cell_id)}
+            sharded = set()
+            for view in views:
+                owned = {v.vehicle_id for v in view.empty_vehicles_in_cell(cell.cell_id)}
+                assert owned <= whole
+                assert not owned & sharded
+                sharded |= owned
+            assert sharded == whole
+
+    def test_shard_of_vehicle_is_stable_across_assignment(self, fleet):
+        vehicle = fleet.vehicles()[0]
+        before = fleet.shard_of_vehicle(vehicle, 4)
+        request = _requests(fleet, 1, seed=5)[0]
+        config = SystemConfig(max_waiting=6.0, service_constraint=0.4)
+        dispatcher = Dispatcher(fleet, SingleSideSearchMatcher(fleet, config=config), config)
+        dispatcher.dispatch(request)
+        assert fleet.shard_of_vehicle(vehicle, 4) == before
+
+    def test_invalid_shard_parameters_rejected(self, fleet):
+        from repro.errors import VehicleError
+
+        with pytest.raises(VehicleError):
+            fleet.shard_views(0)
+        from repro.vehicles.fleet import ShardedFleetView
+
+        with pytest.raises(VehicleError):
+            ShardedFleetView(fleet, 3, 2)
+
+
+class TestSkylineMerge:
+    def test_merge_is_partition_independent(self):
+        options = [
+            RideOption(vehicle_id="a", pickup_distance=1.0, price=9.0),
+            RideOption(vehicle_id="b", pickup_distance=2.0, price=5.0),
+            RideOption(vehicle_id="c", pickup_distance=3.0, price=7.0),  # dominated by b
+            RideOption(vehicle_id="d", pickup_distance=4.0, price=1.0),
+        ]
+        whole = Skyline.merge([options]).options()
+        split = Skyline.merge([[options[0], options[3]], [options[1]], [options[2]]]).options()
+        assert whole == split
+        assert [o.vehicle_id for o in whole] == ["a", "b", "d"]
+
+    def test_equal_points_collapse_to_smallest_vehicle_id(self):
+        twin_a = RideOption(vehicle_id="z", pickup_distance=2.0, price=2.0)
+        twin_b = RideOption(vehicle_id="a", pickup_distance=2.0, price=2.0)
+        for ordering in ([[twin_a], [twin_b]], [[twin_b], [twin_a]], [[twin_a, twin_b]]):
+            merged = Skyline.merge(ordering).options()
+            assert [o.vehicle_id for o in merged] == ["a"]
+
+    def test_incremental_add_matches_merge_on_ties(self):
+        twin_a = RideOption(vehicle_id="z", pickup_distance=2.0, price=2.0)
+        twin_b = RideOption(vehicle_id="a", pickup_distance=2.0, price=2.0)
+        skyline = Skyline()
+        assert skyline.add(twin_a)
+        assert skyline.add(twin_b)  # replaces: smaller vehicle id wins
+        assert [o.vehicle_id for o in skyline.options()] == ["a"]
+
+
+class TestDispatchBatchPipeline:
+    def test_empty_batch(self, fleet):
+        config = SystemConfig(max_waiting=6.0, service_constraint=0.4)
+        dispatcher = Dispatcher(fleet, SingleSideSearchMatcher(fleet, config=config), config)
+        assert dispatcher.dispatch_batch([]) == []
+
+    def test_config_match_shards_is_the_default(self, fleet):
+        config = SystemConfig(max_waiting=6.0, service_constraint=0.4, match_shards=3)
+        dispatcher = Dispatcher(fleet, SingleSideSearchMatcher(fleet, config=config), config)
+        outcomes = dispatcher.dispatch_batch(_requests(fleet, 4))
+        assert len(outcomes) == 4
+        assert dispatcher.last_batch_statistics is not None
+
+    def test_invalid_match_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(match_shards=0)
+
+    def test_match_batch_on_error_empty_keeps_the_rest_of_the_burst(self, fleet):
+        config = SystemConfig(max_waiting=6.0, service_constraint=0.4)
+        dispatcher = Dispatcher(fleet, SingleSideSearchMatcher(fleet, config=config), config)
+        good = _requests(fleet, 2, seed=12)
+        bad = Request(
+            start=10_000, destination=good[0].destination, riders=1,
+            max_waiting=6.0, service_constraint=0.4, request_id="bad",
+        )
+        with pytest.raises(VertexNotFoundError):
+            dispatcher.match_batch([good[0], bad, good[1]])
+        results = dispatcher.match_batch([good[0], bad, good[1]], on_error="empty")
+        assert len(results) == 3
+        assert results[1] == []
+        assert results[0] and results[2]  # the healthy trips still get options
+
+    def test_bad_request_raises_after_predecessors_commit(self, fleet):
+        config = SystemConfig(max_waiting=6.0, service_constraint=0.4)
+        dispatcher = Dispatcher(fleet, SingleSideSearchMatcher(fleet, config=config), config)
+        good = _requests(fleet, 1, seed=8)[0]
+        bad = Request(
+            start=10_000, destination=good.destination, riders=1,
+            max_waiting=6.0, service_constraint=0.4, request_id="bad",
+        )
+        with pytest.raises(VertexNotFoundError):
+            dispatcher.dispatch_batch([good, bad], policy=OptionPolicy.CHEAPEST)
+        # the request before the failing one still committed, as in the loop
+        assert dispatcher.vehicle_of_request(good.request_id) is not None
+
+
+class TestBalancedPolicy:
+    def test_zero_price_axis_decides_by_pickup_alone(self):
+        options = [
+            RideOption(vehicle_id="far", pickup_distance=9.0, price=0.0),
+            RideOption(vehicle_id="near", pickup_distance=1.0, price=0.0),
+        ]
+        assert OptionPolicy.BALANCED.choose(options).vehicle_id == "near"
+
+    def test_zero_pickup_axis_decides_by_price_alone(self):
+        options = [
+            RideOption(vehicle_id="dear", pickup_distance=0.0, price=5.0),
+            RideOption(vehicle_id="cheap", pickup_distance=0.0, price=2.0),
+        ]
+        assert OptionPolicy.BALANCED.choose(options).vehicle_id == "cheap"
+
+    def test_all_zero_ties_break_by_vehicle_id(self):
+        options = [
+            RideOption(vehicle_id="b", pickup_distance=0.0, price=0.0),
+            RideOption(vehicle_id="a", pickup_distance=0.0, price=0.0),
+        ]
+        assert OptionPolicy.BALANCED.choose(options).vehicle_id == "a"
