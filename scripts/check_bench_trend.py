@@ -9,14 +9,21 @@ experiment's best wall time regressed by more than the threshold
 (default 25%), so a PR that slows the hot path fails its workflow instead of
 silently shipping.
 
-Per ``(experiment, routing backend)`` pair the *minimum* wall time on each
-side is compared -- the records of one experiment mix entry kinds
-(whole-simulation runs, routing-layer probes) and repetitions, and
-min-vs-min is the most noise-tolerant summary of "how fast can this
-experiment go on this machine"; separating backends keeps a regression in
-one backend from hiding behind a faster record of another.  Pairs present on
-only one side are skipped, so the committed record and the CI runs don't
-have to cover identical backend matrices.
+Per ``(experiment, routing backend)`` pair an aggregate of the wall times on
+each side is compared -- the records of one experiment mix entry kinds
+(whole-simulation runs, routing-layer probes) and repetitions; separating
+backends keeps a regression in one backend from hiding behind a faster
+record of another.  Two aggregates are offered:
+
+* ``min`` (default) -- "how fast can this experiment go on this machine";
+  the most noise-tolerant choice when each side holds a single run.
+* ``median`` -- the right choice when the fresh side holds *repeated runs*
+  of the same experiment (CI reruns E12 three times): the median absorbs a
+  single slow outlier that would poison a mean and a single lucky run that
+  would let ``min`` mask a real regression.
+
+Pairs present on only one side are skipped, so the committed record and the
+CI runs don't have to cover identical backend matrices.
 
 Caveat: the committed baseline was produced on whatever machine last
 regenerated ``BENCH_results.json``; across very different hardware the
@@ -28,13 +35,14 @@ Usage::
     python scripts/check_bench_trend.py \
         --baseline bench-records/baseline.json \
         --fresh bench-records/e2-dict.json bench-records/e8-csr.json \
-        --experiments E2 E8 [--threshold 0.25]
+        --experiments E2 E8 E12 [--threshold 0.25] [--aggregate median]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
 from typing import Dict, Iterable, List
@@ -51,11 +59,11 @@ def load_records(paths: Iterable[Path]) -> List[dict]:
     return records
 
 
-def best_wall_seconds(
-    records: List[dict], experiments: Iterable[str]
+def aggregate_wall_seconds(
+    records: List[dict], experiments: Iterable[str], aggregate: str = "min"
 ) -> Dict[tuple, float]:
-    """Minimum ``wall_seconds`` per monitored (experiment, routing backend)."""
-    best: Dict[tuple, float] = {}
+    """Aggregated ``wall_seconds`` per monitored (experiment, routing backend)."""
+    walls: Dict[tuple, List[float]] = {}
     wanted = set(experiments)
     for record in records:
         experiment = record.get("experiment")
@@ -63,9 +71,9 @@ def best_wall_seconds(
         if experiment not in wanted or not isinstance(wall, (int, float)):
             continue
         key = (experiment, record.get("routing_backend", "dict"))
-        if key not in best or wall < best[key]:
-            best[key] = float(wall)
-    return best
+        walls.setdefault(key, []).append(float(wall))
+    reduce = min if aggregate == "min" else statistics.median
+    return {key: reduce(values) for key, values in walls.items()}
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -79,17 +87,24 @@ def main(argv: List[str] | None = None) -> int:
         help="freshly produced record file(s)",
     )
     parser.add_argument(
-        "--experiments", nargs="+", default=["E2", "E8"],
-        help="experiments whose wall time is monitored (default: E2 E8)",
+        "--experiments", nargs="+", default=["E2", "E8", "E12"],
+        help="experiments whose wall time is monitored (default: E2 E8 E12)",
     )
     parser.add_argument(
         "--threshold", type=float, default=0.25,
         help="maximum tolerated relative regression (default: 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--aggregate", choices=("min", "median"), default="min",
+        help="per-(experiment, backend) summary: 'min' for single runs, "
+        "'median' when the fresh side holds repeated runs (default: min)",
+    )
     args = parser.parse_args(argv)
 
-    baseline = best_wall_seconds(load_records([args.baseline]), args.experiments)
-    fresh = best_wall_seconds(load_records(args.fresh), args.experiments)
+    baseline = aggregate_wall_seconds(
+        load_records([args.baseline]), args.experiments, args.aggregate
+    )
+    fresh = aggregate_wall_seconds(load_records(args.fresh), args.experiments, args.aggregate)
 
     compared = sorted(set(baseline) & set(fresh))
     for key in sorted(set(baseline) ^ set(fresh)):

@@ -97,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", action=argparse.BooleanOptionalAction, default=True,
         help="dispatch the burst through the batched pipeline (--no-batch for the sequential loop)",
     )
+    compare.add_argument(
+        "--prefetch", action=argparse.BooleanOptionalAction, default=True,
+        help="prefetch the batch's start trees in one vectorised engine call "
+        "(--no-prefetch computes trees per start; only meaningful with --batch)",
+    )
     return parser
 
 
@@ -195,22 +200,31 @@ def _run_compare(args: argparse.Namespace) -> int:
         )
         started = time.perf_counter()
         if args.batch:
-            dispatcher.dispatch_batch(requests, policy=OptionPolicy.CHEAPEST)
+            dispatcher.dispatch_batch(
+                requests, policy=OptionPolicy.CHEAPEST, prefetch=args.prefetch
+            )
         else:
             dispatcher.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
         elapsed = time.perf_counter() - started
         stats = matcher.statistics.as_dict()
         batch_stats = dispatcher.last_batch_statistics
         hit_rate = batch_stats.shared_tree_hit_rate if batch_stats is not None else 0.0
-        results.append((matcher.name, elapsed, stats, hit_rate))
-    mode = f"batched pipeline, {args.shards} shard(s)" if args.batch else "sequential loop"
+        prefetched = batch_stats.prefetched_trees if batch_stats is not None else 0
+        results.append((matcher.name, elapsed, stats, hit_rate, prefetched))
+    if args.batch:
+        mode = f"batched pipeline, {args.shards} shard(s), prefetch {'on' if args.prefetch else 'off'}"
+    else:
+        mode = "sequential loop"
     print(f"Dispatch: {mode}")
-    print(f"{'matcher':>12} {'seconds':>9} {'evaluated':>10} {'pruned':>8} {'options':>8} {'tree hits':>9}")
-    for name, elapsed, stats, hit_rate in results:
+    print(
+        f"{'matcher':>12} {'seconds':>9} {'evaluated':>10} {'pruned':>8} "
+        f"{'options':>8} {'tree hits':>9} {'prefetched':>10}"
+    )
+    for name, elapsed, stats, hit_rate, prefetched in results:
         print(
             f"{name:>12} {elapsed:>9.3f} {stats['vehicles_evaluated']:>10.0f} "
             f"{stats['vehicles_pruned']:>8.0f} {stats['options_returned']:>8.0f} "
-            f"{hit_rate:>8.0%}"
+            f"{hit_rate:>8.0%} {prefetched:>10d}"
         )
     return 0
 

@@ -7,11 +7,14 @@ functions of the road network only.  :class:`BatchContext` therefore pools
 that work for a whole tick's worth of requests:
 
 * start vertices are **deduplicated** -- requests sharing a start vertex
-  share one distance tree, computed exactly once through one
-  :class:`~repro.roadnet.routing.RoutingEngine` call sequence and pinned by
-  reference for the lifetime of the batch (engine cache eviction can never
-  force a recomputation mid-batch, no matter how many requests the tick
-  carries);
+  share one distance tree, computed exactly once and pinned by reference for
+  the lifetime of the batch (engine cache eviction can never force a
+  recomputation mid-batch, no matter how many requests the tick carries);
+* all missing trees are **prefetched in one vectorised engine call** before
+  matching begins (:meth:`~repro.roadnet.routing.RoutingEngine.prefetch_trees`;
+  one ``scipy.csgraph.dijkstra(indices=[...])`` plane on the CSR backend,
+  precomputed row views on the table backend, a no-op on the dict backend,
+  which then computes trees per start exactly as before);
 * each request receives a regular
   :class:`~repro.core.context.MatchContext` built from the pooled tree, so
   the matchers are oblivious to whether a context was built per-request or
@@ -46,21 +49,28 @@ class BatchStatistics:
     """How much routing work the batch shared across its requests.
 
     For a batch whose endpoints all resolve,
-    ``trees_computed + shared_tree_hits == requests``; requests with an
-    unknown start vertex receive no tree and count in neither term.
+    ``prefetched_trees + trees_computed + shared_tree_hits == requests``;
+    requests with an unknown start vertex receive no tree and count in none
+    of the terms.  A prefetched tree counts exactly once however many
+    requests consume it: the first consumer is covered by
+    ``prefetched_trees``, every later one by ``shared_tree_hits``.
     """
 
     #: number of requests in the batch
     requests: int = 0
-    #: start-rooted trees actually computed (one per distinct start vertex)
+    #: start-rooted trees computed one at a time (engines without a bulk path)
     trees_computed: int = 0
     #: requests whose tree was already pooled by an earlier request
     shared_tree_hits: int = 0
+    #: distinct start trees obtained through the one-shot vectorised prefetch
+    prefetched_trees: int = 0
+    #: wall time of the single ``prefetch_trees`` engine call
+    prefetch_seconds: float = 0.0
 
     @property
     def shared_tree_hit_rate(self) -> float:
         """Fraction of tree-resolved requests served by an already-pooled tree."""
-        resolved = self.trees_computed + self.shared_tree_hits
+        resolved = self.trees_computed + self.prefetched_trees + self.shared_tree_hits
         if not resolved:
             return 0.0
         return self.shared_tree_hits / resolved
@@ -72,6 +82,8 @@ class BatchStatistics:
             "trees_computed": float(self.trees_computed),
             "shared_tree_hits": float(self.shared_tree_hits),
             "shared_tree_hit_rate": self.shared_tree_hit_rate,
+            "prefetched_trees": float(self.prefetched_trees),
+            "prefetch_seconds": self.prefetch_seconds,
         }
 
 
@@ -135,13 +147,24 @@ class BatchContext:
 
     @classmethod
     def create(
-        cls, requests: Sequence[Request], engine: RoutingEngine, grid: GridIndex
+        cls,
+        requests: Sequence[Request],
+        engine: RoutingEngine,
+        grid: GridIndex,
+        prefetch: bool = True,
     ) -> "BatchContext":
         """Pool trees and direct distances for ``requests`` (in order).
 
-        Trees are requested from the engine once per distinct start vertex;
-        requests sharing a start reuse the pooled reference.  Endpoint
-        failures are recorded per request, not raised.
+        Start vertices are deduplicated and every missing tree is prefetched
+        through **one** vectorised
+        :meth:`~repro.roadnet.routing.RoutingEngine.prefetch_trees` call
+        before any request is examined (engines without a bulk path return
+        nothing and trees are computed per distinct start, as before;
+        ``prefetch=False`` forces that per-source path for ablations).
+        Requests sharing a start reuse the pooled reference.  Endpoint
+        failures are recorded per request, not raised -- ``prefetch_trees``
+        skips unknown start vertices, so the per-request path still observes
+        the exact error the sequential loop would have raised.
 
         Memory: the pool holds one O(V) tree per distinct start vertex of the
         batch -- the price of immunity to engine cache eviction.  The pool
@@ -159,18 +182,38 @@ class BatchContext:
         shared_distances: Dict[Tuple[VertexId, VertexId], float] = {}
         statistics = BatchStatistics(requests=len(requests))
 
+        prefetch_share = 0.0
+        unbilled_prefetches: set = set()
+        if prefetch and requests:
+            distinct_starts = list(dict.fromkeys(request.start for request in requests))
+            started = time.perf_counter()
+            trees.update(engine.prefetch_trees(distinct_starts))
+            statistics.prefetch_seconds = time.perf_counter() - started
+            statistics.prefetched_trees = len(trees)
+            if trees:
+                # Bill each tree's share of the one-shot call to its first
+                # consumer below, the request that would have paid for the
+                # tree inline on the per-source path.
+                prefetch_share = statistics.prefetch_seconds / len(trees)
+                unbilled_prefetches = set(trees)
+
         for index, request in enumerate(requests):
             start = request.start
+            extra = 0.0
             started = time.perf_counter()
             if start in trees:
-                statistics.shared_tree_hits += 1
+                if start in unbilled_prefetches:
+                    unbilled_prefetches.discard(start)
+                    extra = prefetch_share
+                else:
+                    statistics.shared_tree_hits += 1
             elif start not in tree_errors:
                 try:
                     trees[start] = engine.distances_from(start)
                     statistics.trees_computed += 1
                 except VertexNotFoundError as error:
                     tree_errors[start] = error
-            seconds[index] = time.perf_counter() - started
+            seconds[index] = extra + time.perf_counter() - started
             if start in tree_errors:
                 errors[index] = tree_errors[start]
                 continue

@@ -44,7 +44,10 @@ class SystemConfig:
             ("single_side", "dual_side" or "naive").
         price_model: the price calculator.
         routing_backend: which routing engine answers shortest-path queries
-            ("dict", "csr" or "csr+alt"; see :mod:`repro.roadnet.routing`).
+            ("dict", "csr", "csr+alt" or "table"; see
+            :mod:`repro.roadnet.routing` -- "table" precomputes the all-pairs
+            distance matrix, the right trade for city-benchmark networks up
+            to a few thousand vertices).
         match_shards: number of fleet shards the batch dispatch pipeline
             partitions vehicles into (by grid cell); per-shard skylines are
             merged by dominance, so any value yields the same options.  ``1``

@@ -10,7 +10,9 @@ verification shares:
 * the request-rooted single-source distance tree, held by reference so it can
   never be evicted from the routing engine's cache mid-match -- this is what
   eliminates the per-vehicle ``oracle.distance(request.start, ...)`` re-query
-  the matchers used to issue;
+  the matchers used to issue.  The tree is whatever mapping the engine hands
+  out: a plain dict (dict backend) or a zero-copy ndarray-row view (CSR /
+  table backends, possibly pooled batch-wide by a vectorised prefetch);
 * the combined admissible lower bound (grid cell bounds plus the engine's
   optional ALT landmark bounds).
 """
@@ -90,7 +92,13 @@ class MatchContext:
         return self.engine.distance(source, target)
 
     def lower_bound(self, source: VertexId, target: VertexId) -> float:
-        """Best admissible lower bound available: grid cells vs ALT landmarks."""
-        bound = self.grid.distance_lower_bound(source, target)
+        """Best admissible lower bound available: grid cells vs ALT landmarks.
+
+        When the engine's bound is exact (the all-pairs table backend) no
+        admissible bound can beat it, so the grid lookup is skipped.
+        """
         engine_bound = self.engine.distance_lower_bound(source, target)
+        if self.engine.exact_lower_bounds:
+            return engine_bound
+        bound = self.grid.distance_lower_bound(source, target)
         return engine_bound if engine_bound > bound else bound

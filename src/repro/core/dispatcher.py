@@ -312,19 +312,21 @@ class Dispatcher:
         apply_global_constraints: bool = True,
         shards: Optional[int] = None,
         on_outcome: Optional[Callable[[DispatchOutcome], None]] = None,
+        prefetch: bool = True,
     ) -> List[DispatchOutcome]:
         """Greedy handling of simultaneous requests as a staged pipeline.
 
         Semantically identical to :meth:`dispatch_sequential` -- requests are
         decided in submission order, each seeing the fleet state its
-        predecessors' commits produced -- but the work is staged: routing
-        contexts are pooled batch-wide (shared start trees plus a batch-wide
-        schedule-leg memo), matching runs per fleet shard and the per-shard
-        skylines are merged by dominance.  A commit affects exactly one shard
-        (the chosen vehicle's), which is what keeps the per-shard searches of
-        every other shard valid under the interleaved commits; each request's
-        shard skylines are computed just-in-time at its turn, so no shard is
-        ever searched twice for the same request.
+        predecessors' commits produced -- but the work is staged: the batch's
+        distinct start trees are prefetched in one vectorised engine call,
+        routing contexts are pooled batch-wide (shared start trees plus a
+        batch-wide schedule-leg memo), matching runs per fleet shard and the
+        per-shard skylines are merged by dominance.  A commit affects exactly
+        one shard (the chosen vehicle's), which is what keeps the per-shard
+        searches of every other shard valid under the interleaved commits;
+        each request's shard skylines are computed just-in-time at its turn,
+        so no shard is ever searched twice for the same request.
 
         Args:
             requests: the simultaneous requests, in submission order.
@@ -337,8 +339,12 @@ class Dispatcher:
                 even when a *later* request of the batch raises (e.g. the
                 simulation engine) hook in here, exactly as if they had run
                 the sequential loop themselves.
+            prefetch: pool the batch's start trees through one vectorised
+                :meth:`~repro.roadnet.routing.RoutingEngine.prefetch_trees`
+                call (the default; ``False`` forces per-start computation,
+                the ablation arm of benchmark E13).
         """
-        prepared = self._prepare_batch(requests, apply_global_constraints, shards)
+        prepared = self._prepare_batch(requests, apply_global_constraints, shards, prefetch)
         if prepared is None:
             return []
         request_list, batch, views = prepared
@@ -388,6 +394,7 @@ class Dispatcher:
         requests: Iterable[Request],
         apply_global_constraints: bool,
         shards: Optional[int],
+        prefetch: bool = True,
     ) -> Optional[Tuple[List[Request], BatchContext, List[object]]]:
         """Shared batch prelude: normalise, validate shards, pool contexts.
 
@@ -404,7 +411,7 @@ class Dispatcher:
         if not self._matcher.supports_sharding:
             shard_count = 1
         batch = BatchContext.create(
-            request_list, self._fleet.routing_engine, self._fleet.grid
+            request_list, self._fleet.routing_engine, self._fleet.grid, prefetch=prefetch
         )
         self.last_batch_statistics = batch.statistics
         return request_list, batch, self._fleet.shard_views(shard_count)
@@ -415,6 +422,7 @@ class Dispatcher:
         apply_global_constraints: bool = True,
         shards: Optional[int] = None,
         on_error: str = "raise",
+        prefetch: bool = True,
     ) -> List[List[RideOption]]:
         """Skylines for a batch of requests without committing any of them.
 
@@ -433,10 +441,12 @@ class Dispatcher:
                 simply gets no options, so one broken trip cannot void the
                 rest of the burst (the service's batch-submit flow uses
                 this).
+            prefetch: pool the batch's start trees through one vectorised
+                engine call (see :meth:`dispatch_batch`).
         """
         if on_error not in ("raise", "empty"):
             raise MatchingError(f"on_error must be 'raise' or 'empty', got {on_error!r}")
-        prepared = self._prepare_batch(requests, apply_global_constraints, shards)
+        prepared = self._prepare_batch(requests, apply_global_constraints, shards, prefetch)
         if prepared is None:
             return []
         request_list, batch, views = prepared

@@ -215,35 +215,42 @@ def _rejected_by_lower_bounds(
     shortest-path distance with the (cheaper) grid lower bound.  Because the
     bounds never exceed the true distances, a violation here implies a
     violation of the exact check, so rejecting is safe.
+
+    This runs once per enumerated candidate schedule (hundreds of thousands
+    of times per dispatch batch), so it is a single pass that returns at the
+    *first* provable violation: every per-stop condition only needs the
+    bound-prefix up to that stop, and a pick-up's waiting-time condition is
+    decidable the moment the pick-up is reached.
     """
-    lb_prefix: List[float] = []
+    bound = grid.distance_lower_bound
+    states_get = request_states.get
     total = origin_offset
     previous = origin
-    for stop in stops:
-        total += grid.distance_lower_bound(previous, stop.vertex)
-        lb_prefix.append(total)
-        previous = stop.vertex
-
     pickup_at: Dict[str, float] = {}
-    for index, stop in enumerate(stops):
+    for stop in stops:
+        vertex = stop.vertex
+        total += bound(previous, vertex)
+        previous = vertex
+        request_id = stop.request_id
         if stop.is_pickup:
-            pickup_at[stop.request_id] = lb_prefix[index]
+            pickup_at[request_id] = total
+            state = states_get(request_id)
+            if (
+                state is not None
+                and not state.onboard
+                and total > state.waiting_budget() + 1e-9
+            ):
+                return True
         else:
-            state = request_states.get(stop.request_id)
+            state = states_get(request_id)
             if state is None:
                 continue
             if state.onboard:
-                travelled_lb = lb_prefix[index]
-            elif stop.request_id in pickup_at:
-                travelled_lb = lb_prefix[index] - pickup_at[stop.request_id]
+                travelled_lb = total
+            elif request_id in pickup_at:
+                travelled_lb = total - pickup_at[request_id]
             else:
                 continue
             if travelled_lb > state.remaining_service_budget() + 1e-9:
                 return True
-    for request_id, bound in pickup_at.items():
-        state = request_states.get(request_id)
-        if state is None or state.onboard:
-            continue
-        if bound > state.waiting_budget() + 1e-9:
-            return True
     return False

@@ -10,7 +10,7 @@ to, so feasibility checks can track occupancy and per-request constraints.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["StopKind", "Stop"]
 
@@ -29,6 +29,12 @@ class StopKind(enum.Enum):
 class Stop:
     """One stop of a vehicle trip schedule.
 
+    Stops are immutable and sit on the hottest loops of the matcher (every
+    candidate schedule is a tuple of stops, deduplicated by hash, and every
+    feasibility walk branches on the stop kind), so the derived values --
+    ``is_pickup`` / ``is_dropoff`` / ``occupancy_delta`` and the hash -- are
+    computed once at construction instead of per access.
+
     Attributes:
         vertex: the road-network vertex of the stop.
         request_id: the request served at the stop.
@@ -41,24 +47,28 @@ class Stop:
     kind: StopKind
     riders: int = 1
 
+    #: ``True`` for pick-up stops (precomputed attribute, not a property).
+    is_pickup: bool = field(init=False, repr=False, compare=False)
+    #: ``True`` for drop-off stops.
+    is_dropoff: bool = field(init=False, repr=False, compare=False)
+    #: Signed change in vehicle occupancy caused by this stop.
+    occupancy_delta: int = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if self.riders < 1:
             raise ValueError(f"stop for {self.request_id} must move at least one rider")
+        is_pickup = self.kind is StopKind.PICKUP
+        object.__setattr__(self, "is_pickup", is_pickup)
+        object.__setattr__(self, "is_dropoff", not is_pickup)
+        object.__setattr__(
+            self, "occupancy_delta", self.riders if is_pickup else -self.riders
+        )
+        object.__setattr__(
+            self, "_hash", hash((self.vertex, self.request_id, self.kind, self.riders))
+        )
 
-    @property
-    def is_pickup(self) -> bool:
-        """``True`` for pick-up stops."""
-        return self.kind is StopKind.PICKUP
-
-    @property
-    def is_dropoff(self) -> bool:
-        """``True`` for drop-off stops."""
-        return self.kind is StopKind.DROPOFF
-
-    @property
-    def occupancy_delta(self) -> int:
-        """Signed change in vehicle occupancy caused by this stop."""
-        return self.riders if self.is_pickup else -self.riders
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         sign = "+" if self.is_pickup else "-"

@@ -19,8 +19,23 @@ paths) and *how* the answer is computed:
   of landmarks ``L`` the triangle inequality gives the admissible bound
   ``dist(u, v) >= |dist(L, u) - dist(L, v)|``.  The matchers combine it with
   the grid-index cell bounds, taking the maximum of the two.
+* :class:`TableEngine` -- precomputes the full all-pairs distance matrix at
+  build time (blocked multi-source Dijkstra over the CSR arrays) and answers
+  every ``distance`` / ``distances_from`` by O(1) array lookup.  The right
+  trade for networks up to a few thousand vertices, where the whole table
+  fits comfortably in memory (n^2 x 8 bytes).
 
-Backends are selected by name ("dict", "csr", "csr+alt") through
+Distance trees are NumPy-native end to end: :meth:`CSRGraph.tree` and
+:meth:`CSRGraph.trees` return dense ``float64`` rows / 2-D planes (plain
+Python lists only when NumPy/SciPy are unavailable), the per-tree LRU caches
+hold those rows by reference and :class:`_TreeView` reads them zero-copy.
+:meth:`CSRGraph.trees` computes a whole batch of start-rooted trees with
+**one** ``scipy.sparse.csgraph.dijkstra(indices=[...])`` call, which is what
+:meth:`RoutingEngine.prefetch_trees` -- and through it the batch dispatch
+pipeline (:class:`~repro.core.batch.BatchContext`) -- uses to amortise the
+per-call overhead across a tick's worth of simultaneous requests.
+
+Backends are selected by name ("dict", "csr", "csr+alt", "table") through
 :func:`make_engine`; :class:`~repro.core.config.SystemConfig` carries the
 chosen name so the service, the CLI, the simulation engine and the benchmark
 harness can ablate the routing layer without touching the matchers.
@@ -60,15 +75,25 @@ __all__ = [
     "CSRGraph",
     "ALTIndex",
     "CSREngine",
+    "TableEngine",
     "make_engine",
     "ensure_engine",
 ]
 
 #: Backend names accepted by :func:`make_engine` and ``SystemConfig``.
-ROUTING_BACKENDS = ("dict", "csr", "csr+alt")
+ROUTING_BACKENDS = ("dict", "csr", "csr+alt", "table")
 
 #: Default number of ALT landmarks (a handful is enough on city-sized nets).
 DEFAULT_LANDMARKS = 8
+
+#: Sources per multi-source Dijkstra call while building the all-pairs table.
+#: Large enough to amortise per-call overhead, small enough that one block's
+#: plane stays cache-friendly.
+DEFAULT_TABLE_BLOCK = 64
+
+#: Refuse to build an all-pairs table beyond this vertex count: the table is
+#: O(n^2) memory (4096^2 doubles = 128 MiB), the wrong trade past city scale.
+DEFAULT_TABLE_MAX_VERTICES = 4096
 
 
 @dataclass
@@ -94,6 +119,12 @@ class RoutingEngine(ABC):
 
     #: backend name as selected through ``SystemConfig.routing_backend``
     backend: str = "abstract"
+
+    #: ``True`` when :meth:`distance_lower_bound` returns the *exact*
+    #: distance (the all-pairs table backend): by definition no other
+    #: admissible bound can beat it, so callers skip combining it with the
+    #: grid-index cell bounds.
+    exact_lower_bounds: bool = False
 
     @property
     @abstractmethod
@@ -129,10 +160,33 @@ class RoutingEngine(ABC):
         """An admissible lower bound on ``dist(source, target)``.
 
         The default engine offers no bound (0.0); the ALT-equipped CSR engine
-        overrides this with landmark differences.  Matchers take the maximum
+        overrides this with landmark differences, and the table engine returns
+        the exact distance (trivially admissible).  Matchers take the maximum
         of this bound and the grid-index cell bound.
         """
         return 0.0
+
+    def prefetch_trees(
+        self, sources: Sequence[VertexId]
+    ) -> Mapping[VertexId, Mapping[VertexId, float]]:
+        """Compute the distance trees of many sources in one bulk operation.
+
+        Returns a mapping from each *known* source vertex to its full distance
+        tree; unknown vertices are silently skipped (callers that care raise
+        per-request, exactly where the sequential path would).  Engines that
+        can vectorise (the CSR backend's one-call
+        ``scipy.csgraph.dijkstra(indices=[...])`` plane, the table backend's
+        precomputed rows) amortise the whole batch; the default implementation
+        is a no-op returning an empty mapping, so callers fall back to
+        per-source :meth:`distances_from` -- the dict backend has no cheaper
+        bulk path than that.
+
+        Statistics contract: each tree *computed* by the bulk call counts as
+        exactly one ``dijkstra_runs``, no matter how many requests later
+        consume it; trees already cached are returned without touching any
+        counter (pinning is not a query).
+        """
+        return {}
 
 
 class DictDijkstraEngine(RoutingEngine):
@@ -241,19 +295,42 @@ class CSRGraph:
     # ------------------------------------------------------------------
     # single-source trees
     # ------------------------------------------------------------------
-    def tree(self, source_index: int) -> List[float]:
-        """Distances from ``source_index`` to every index (inf = unreachable)."""
+    def tree(self, source_index: int) -> Sequence[float]:
+        """Distances from ``source_index`` to every index (inf = unreachable).
+
+        With SciPy the row is a dense ``float64`` ndarray straight out of
+        :func:`scipy.sparse.csgraph.dijkstra` -- no ``.tolist()`` copy on the
+        hot path; the pure-Python fallback returns a plain list.  Either way
+        callers must treat the row as immutable.
+        """
         if self.matrix is not None:
-            return _csgraph_dijkstra(self.matrix, directed=True, indices=source_index).tolist()
+            return _csgraph_dijkstra(self.matrix, directed=True, indices=source_index)
         return self._tree_python(source_index)[0]
 
-    def tree_with_parents(self, source_index: int) -> Tuple[List[float], List[int]]:
+    def trees(self, source_indices: Sequence[int]) -> Sequence[Sequence[float]]:
+        """Distance rows for many sources as one 2-D plane.
+
+        With SciPy the whole batch is **one**
+        ``scipy.sparse.csgraph.dijkstra(indices=[...])`` call returning a
+        ``(len(sources), n)`` float64 ndarray; ``plane[i]`` is a zero-copy
+        view of source ``source_indices[i]``'s row, bit-identical to what
+        :meth:`tree` computes for that source alone.  The pure-Python
+        fallback returns the same shape as a list of per-source rows.
+        """
+        source_list = list(source_indices)
+        if self.matrix is not None:
+            if not source_list:
+                return _np.empty((0, len(self.vertex_ids)), dtype=_np.float64)
+            return _csgraph_dijkstra(self.matrix, directed=True, indices=source_list)
+        return [self._tree_python(index)[0] for index in source_list]
+
+    def tree_with_parents(self, source_index: int) -> Tuple[Sequence[float], List[int]]:
         """Distances plus parent indices (-1 = root / unreachable)."""
         if self.matrix is not None:
             dist, parents = _csgraph_dijkstra(
                 self.matrix, directed=True, indices=source_index, return_predecessors=True
             )
-            return dist.tolist(), [p if p >= 0 else -1 for p in parents.tolist()]
+            return dist, [p if p >= 0 else -1 for p in parents.tolist()]
         return self._tree_python(source_index)
 
     def _tree_python(self, source_index: int) -> Tuple[List[float], List[int]]:
@@ -283,7 +360,11 @@ class _TreeView(Mapping):
 
     Mirrors the mapping ``DistanceOracle.distances_from`` returns: lookups of
     unreachable (or unknown) vertices raise ``KeyError``, iteration yields
-    only reachable vertices.
+    only reachable vertices.  The backing row may be a NumPy ``float64``
+    ndarray (zero-copy view into a tree plane) or a plain list; lookups
+    coerce to built-in ``float`` so NumPy scalar types never leak into the
+    matchers' arithmetic or the service's payloads (the coercion is
+    value-exact).
     """
 
     __slots__ = ("_graph", "_dist")
@@ -296,14 +377,14 @@ class _TreeView(Mapping):
         value = self._dist[self._graph.index_of[vertex]]
         if value == INFINITY:
             raise KeyError(vertex)
-        return value
+        return float(value)
 
     def get(self, vertex: VertexId, default=None):
         index = self._graph.index_of.get(vertex)
         if index is None:
             return default
         value = self._dist[index]
-        return default if value == INFINITY else value
+        return default if value == INFINITY else float(value)
 
     def __contains__(self, vertex: object) -> bool:
         index = self._graph.index_of.get(vertex)
@@ -395,6 +476,29 @@ class ALTIndex:
         return best
 
 
+def _path_from_parents(graph: CSRGraph, source: VertexId, target: VertexId) -> PathResult:
+    """Reconstruct the shortest path over a CSR graph via a parent tree.
+
+    Shared by the CSR and table engines (paths are only needed for vehicle
+    movement, so neither caches them).
+    """
+    source_index = graph.index(source)
+    target_index = graph.index(target)
+    if source == target:
+        return PathResult(source, target, 0.0, (source,))
+    dist, parents = graph.tree_with_parents(source_index)
+    if dist[target_index] == INFINITY:
+        raise DisconnectedError(source, target)
+    vertex_ids = graph.vertex_ids
+    indices = [target_index]
+    while indices[-1] != source_index:
+        indices.append(parents[indices[-1]])
+    indices.reverse()
+    return PathResult(
+        source, target, float(dist[target_index]), tuple(vertex_ids[i] for i in indices)
+    )
+
+
 class CSREngine(RoutingEngine):
     """Array-backed routing over flat CSR adjacency, with optional ALT bounds.
 
@@ -418,7 +522,8 @@ class CSREngine(RoutingEngine):
         self._max_cached_sources = max_cached_sources
         self._landmarks = landmarks
         self._graph = CSRGraph(network)
-        self._trees: "OrderedDict[int, List[float]]" = OrderedDict()
+        #: per-source tree LRU; rows are ndarray views (or lists without SciPy)
+        self._trees: "OrderedDict[int, Sequence[float]]" = OrderedDict()
         self._alt = ALTIndex(self._graph, landmarks) if landmarks > 0 else None
         if landmarks > 0:
             self.backend = "csr+alt"
@@ -454,28 +559,63 @@ class CSREngine(RoutingEngine):
         value = self._tree(root_index)[leaf_index]
         if value == INFINITY:
             raise DisconnectedError(source, target)
-        return value
+        return float(value)
 
     def distances_from(self, source: VertexId) -> Mapping[VertexId, float]:
         self.stats.queries += 1
         return _TreeView(self._graph, self._tree(self._graph.index(source)))
 
+    def prefetch_trees(
+        self, sources: Sequence[VertexId]
+    ) -> Mapping[VertexId, Mapping[VertexId, float]]:
+        """Bulk-compute the missing trees of ``sources`` in one vectorised call.
+
+        All missing sources go through **one** :meth:`CSRGraph.trees` plane
+        (one SciPy C call when available); each computed row is detached from
+        the plane, stored in the tree LRU and counted as exactly one
+        ``dijkstra_runs``.  Sources whose tree is already cached are returned
+        from the cache without touching any counter; unknown vertices are
+        skipped.  The returned views pin their rows by reference, so cache
+        eviction -- including churn caused by a prefetch larger than the LRU
+        -- can never invalidate a caller's pinned tree mid-batch.
+        """
+        graph = self._graph
+        resolved: Dict[VertexId, int] = {}
+        for vertex in sources:
+            if vertex in resolved:
+                continue
+            index = graph.index_of.get(vertex)
+            if index is not None:
+                resolved[vertex] = index
+        rows: Dict[int, Sequence[float]] = {}
+        missing: List[int] = []
+        for index in resolved.values():
+            cached = self._trees.get(index)
+            if cached is not None:
+                rows[index] = cached
+            else:
+                missing.append(index)
+        if missing:
+            plane = graph.trees(missing)
+            self.stats.dijkstra_runs += len(missing)
+            for position, index in enumerate(missing):
+                row = plane[position]
+                if _np is not None and isinstance(row, _np.ndarray):
+                    # Detach the row from the plane: a view would keep the
+                    # whole (k x n) plane alive for as long as any single row
+                    # survives in the LRU, long after the batch released its
+                    # pins.  The copy is value-exact, so bit-identity holds.
+                    row = row.copy()
+                rows[index] = row
+                self._trees[index] = row
+                if len(self._trees) > self._max_cached_sources:
+                    self._trees.popitem(last=False)
+        return {
+            vertex: _TreeView(graph, rows[index]) for vertex, index in resolved.items()
+        }
+
     def path(self, source: VertexId, target: VertexId) -> PathResult:
-        source_index = self._graph.index(source)
-        target_index = self._graph.index(target)
-        if source == target:
-            return PathResult(source, target, 0.0, (source,))
-        dist, parents = self._graph.tree_with_parents(source_index)
-        if dist[target_index] == INFINITY:
-            raise DisconnectedError(source, target)
-        vertex_ids = self._graph.vertex_ids
-        indices = [target_index]
-        while indices[-1] != source_index:
-            indices.append(parents[indices[-1]])
-        indices.reverse()
-        return PathResult(
-            source, target, dist[target_index], tuple(vertex_ids[i] for i in indices)
-        )
+        return _path_from_parents(self._graph, source, target)
 
     def distance_lower_bound(self, source: VertexId, target: VertexId) -> float:
         if self._alt is None:
@@ -491,7 +631,7 @@ class CSREngine(RoutingEngine):
         self._alt = ALTIndex(self._graph, self._landmarks) if self._landmarks > 0 else None
 
     # ------------------------------------------------------------------
-    def _tree(self, source_index: int) -> List[float]:
+    def _tree(self, source_index: int) -> Sequence[float]:
         tree = self._trees.get(source_index)
         if tree is not None:
             self.stats.cache_hits += 1
@@ -504,16 +644,134 @@ class CSREngine(RoutingEngine):
         return tree
 
 
+class TableEngine(RoutingEngine):
+    """All-pairs distance-table routing for small (city-benchmark) networks.
+
+    The full ``n x n`` distance matrix is precomputed at build time by blocked
+    multi-source Dijkstra (:meth:`CSRGraph.trees`, one SciPy call per block of
+    :data:`DEFAULT_TABLE_BLOCK` sources), after which every ``distance`` is an
+    O(1) array lookup and every ``distances_from`` a zero-copy row view.
+    Rows are bit-identical to what :class:`CSREngine` computes per source, and
+    point queries read the row of the *smaller* endpoint like every other
+    backend, so answers are float-for-float interchangeable with the CSR
+    engine's.
+
+    The table is O(n^2) memory and O(n) Dijkstra runs to build -- the right
+    trade for the <= 2k-vertex grids the benchmarks use and exactly the wrong
+    one beyond :data:`DEFAULT_TABLE_MAX_VERTICES`, where construction refuses
+    rather than silently swallowing gigabytes.
+    """
+
+    backend = "table"
+    exact_lower_bounds = True
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        block_size: int = DEFAULT_TABLE_BLOCK,
+        max_vertices: int = DEFAULT_TABLE_MAX_VERTICES,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self._network = network
+        self._block_size = block_size
+        self._max_vertices = max_vertices
+        self.stats = EngineStats()
+        self._graph = CSRGraph(network)
+        self._table = self._build_table()
+
+    def _build_table(self) -> Sequence[Sequence[float]]:
+        n = len(self._graph)
+        if n > self._max_vertices:
+            raise ConfigurationError(
+                f"table routing backend capped at {self._max_vertices} vertices "
+                f"(network has {n}); use the csr backend for larger networks"
+            )
+        blocks = [
+            self._graph.trees(range(start, min(start + self._block_size, n)))
+            for start in range(0, n, self._block_size)
+        ]
+        self.stats.dijkstra_runs += n  # the build's honest cost, counted once
+        if _np is not None and self._graph.matrix is not None:
+            return _np.vstack(blocks) if blocks else _np.empty((0, 0))
+        return [row for block in blocks for row in block]
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def graph(self) -> CSRGraph:
+        """The compiled CSR adjacency (rebuilt by :meth:`invalidate`)."""
+        return self._graph
+
+    @property
+    def table(self) -> Sequence[Sequence[float]]:
+        """The all-pairs distance matrix (row i = distances from index i)."""
+        return self._table
+
+    # ------------------------------------------------------------------
+    def distance(self, source: VertexId, target: VertexId) -> float:
+        self.stats.queries += 1
+        if source == target:
+            return 0.0
+        # Same canonical rooting as every other backend: read the smaller
+        # endpoint's row, so the answer is bit-identical to the CSR engine's.
+        root, leaf = (source, target) if source <= target else (target, source)
+        value = self._table[self._graph.index(root)][self._graph.index(leaf)]
+        self.stats.cache_hits += 1  # every answer is served from the table
+        if value == INFINITY:
+            raise DisconnectedError(source, target)
+        return float(value)
+
+    def distances_from(self, source: VertexId) -> Mapping[VertexId, float]:
+        self.stats.queries += 1
+        self.stats.cache_hits += 1
+        return _TreeView(self._graph, self._table[self._graph.index(source)])
+
+    def prefetch_trees(
+        self, sources: Sequence[VertexId]
+    ) -> Mapping[VertexId, Mapping[VertexId, float]]:
+        """Hand out precomputed row views; no work, no counters (not a query)."""
+        graph = self._graph
+        views: Dict[VertexId, Mapping[VertexId, float]] = {}
+        for vertex in sources:
+            index = graph.index_of.get(vertex)
+            if index is not None and vertex not in views:
+                views[vertex] = _TreeView(graph, self._table[index])
+        return views
+
+    def path(self, source: VertexId, target: VertexId) -> PathResult:
+        return _path_from_parents(self._graph, source, target)
+
+    def distance_lower_bound(self, source: VertexId, target: VertexId) -> float:
+        """The exact distance -- the tightest admissible bound there is.
+
+        Infinity for provably disconnected pairs, matching the ALT index's
+        convention, so the matchers prune those vehicles outright.
+        """
+        if source == target:
+            return 0.0
+        root, leaf = (source, target) if source <= target else (target, source)
+        return float(self._table[self._graph.index(root)][self._graph.index(leaf)])
+
+    def invalidate(self) -> None:
+        """Recompile the CSR arrays and rebuild the table (network mutated)."""
+        self._graph = CSRGraph(self._network)
+        self._table = self._build_table()
+
+
 def make_engine(
     network: RoadNetwork,
     backend: str = "dict",
     max_cached_sources: int = 1024,
     landmarks: int = DEFAULT_LANDMARKS,
 ) -> RoutingEngine:
-    """Build a routing engine by backend name ("dict", "csr" or "csr+alt").
+    """Build a routing engine by backend name ("dict", "csr", "csr+alt", "table").
 
     Raises:
-        ConfigurationError: for an unknown backend name.
+        ConfigurationError: for an unknown backend name, or a "table" request
+            on a network too large for an all-pairs table.
     """
     if backend == "dict":
         return DictDijkstraEngine(network, max_cached_sources=max_cached_sources)
@@ -521,6 +779,8 @@ def make_engine(
         return CSREngine(network, max_cached_sources=max_cached_sources)
     if backend == "csr+alt":
         return CSREngine(network, max_cached_sources=max_cached_sources, landmarks=landmarks)
+    if backend == "table":
+        return TableEngine(network)
     raise ConfigurationError(
         f"unknown routing backend {backend!r}; choose one of {ROUTING_BACKENDS}"
     )

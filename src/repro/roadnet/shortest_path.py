@@ -290,21 +290,30 @@ def bounded_dijkstra(
 
 
 def dijkstra_all(network: RoadNetwork, source: VertexId) -> Dict[VertexId, float]:
-    """Return shortest-path distances from ``source`` to every reachable vertex."""
+    """Return shortest-path distances from ``source`` to every reachable vertex.
+
+    This is the dict backend's tree builder (every :class:`DistanceOracle`
+    miss lands here), so the inner loop hoists the heap operations and the
+    neighbour accessor into locals -- the same treatment the CSR fallback's
+    ``_tree_python`` gets.
+    """
     _require_vertices(network, (source,))
     dist: Dict[VertexId, float] = {source: 0.0}
     result: Dict[VertexId, float] = {}
     heap: List[Tuple[float, VertexId]] = [(0.0, source)]
+    push, pop = heapq.heappush, heapq.heappop
+    neighbours_view = network.neighbours_view
+    dist_get = dist.get
     while heap:
-        d, u = heapq.heappop(heap)
+        d, u = pop(heap)
         if u in result:
             continue
         result[u] = d
-        for v, weight in network.neighbours_view(u).items():
+        for v, weight in neighbours_view(u).items():
             nd = d + weight
-            if nd < dist.get(v, INFINITY):
+            if nd < dist_get(v, INFINITY):
                 dist[v] = nd
-                heapq.heappush(heap, (nd, v))
+                push(heap, (nd, v))
     return result
 
 
@@ -328,16 +337,19 @@ def multi_source_dijkstra(
     result: Dict[VertexId, float] = {}
     heap: List[Tuple[float, VertexId]] = [(0.0, s) for s in source_list]
     heapq.heapify(heap)
+    push, pop = heapq.heappush, heapq.heappop
+    neighbours_view = network.neighbours_view
+    dist_get = dist.get
     while heap:
-        d, u = heapq.heappop(heap)
+        d, u = pop(heap)
         if u in result:
             continue
         result[u] = d
-        for v, weight in network.neighbours_view(u).items():
+        for v, weight in neighbours_view(u).items():
             nd = d + weight
-            if nd < dist.get(v, INFINITY):
+            if nd < dist_get(v, INFINITY):
                 dist[v] = nd
-                heapq.heappush(heap, (nd, v))
+                push(heap, (nd, v))
     return result
 
 

@@ -324,6 +324,11 @@ class PTRiderService:
         panel["match_shards"] = float(self._config.match_shards)
         panel.update({f"matcher_{k}": v for k, v in self._matcher.statistics.as_dict().items()})
         panel.update({f"fleet_{k}": v for k, v in self._fleet.occupancy_statistics().items()})
+        batch_stats = self._dispatcher.last_batch_statistics
+        if batch_stats is not None:
+            # How much routing work the most recent batch shared / prefetched
+            # (the website's "simultaneous requests" panel).
+            panel.update({f"batch_{k}": v for k, v in batch_stats.as_dict().items()})
         return panel
 
     def set_parameters(

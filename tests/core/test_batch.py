@@ -81,6 +81,84 @@ class TestBatchContext:
         flat = stats.as_dict()
         assert flat["requests"] == 4.0
         assert flat["shared_tree_hit_rate"] == pytest.approx(0.25)
+        assert flat["prefetched_trees"] == 0.0
+        assert flat["prefetch_seconds"] == 0.0
+
+    def test_prefetched_trees_count_in_the_hit_rate_denominator(self):
+        stats = BatchStatistics(
+            requests=4, trees_computed=0, shared_tree_hits=1, prefetched_trees=3
+        )
+        assert stats.shared_tree_hit_rate == pytest.approx(0.25)
+
+
+class TestBatchPrefetch:
+    """The one-shot vectorised tree prefetch of BatchContext.create."""
+
+    @pytest.fixture
+    def csr_fleet(self):
+        from repro.roadnet.routing import make_engine
+        from repro.vehicles.fleet import Fleet
+
+        dict_fleet = build_random_fleet(vehicles=6, seed=13)
+        network = dict_fleet.grid.network
+        return Fleet(dict_fleet.grid, make_engine(network, "csr"))
+
+    def test_distinct_starts_prefetched_in_one_plane(self, csr_fleet):
+        requests = _requests(csr_fleet, 6, seed=21)
+        engine = csr_fleet.routing_engine
+        batch = BatchContext.create(requests, engine, csr_fleet.grid)
+        distinct = len({r.start for r in requests})
+        assert batch.statistics.prefetched_trees == distinct
+        assert batch.statistics.trees_computed == 0
+        assert batch.statistics.shared_tree_hits == len(requests) - distinct
+        assert batch.statistics.prefetch_seconds > 0.0
+        # The double-count fix: one Dijkstra run per distinct start, no
+        # matter how many requests consumed each tree.
+        assert engine.stats.dijkstra_runs == distinct
+
+    def test_prefetch_off_falls_back_to_per_start_trees(self, csr_fleet):
+        requests = _requests(csr_fleet, 6, seed=21)
+        batch = BatchContext.create(
+            requests, csr_fleet.routing_engine, csr_fleet.grid, prefetch=False
+        )
+        distinct = len({r.start for r in requests})
+        assert batch.statistics.prefetched_trees == 0
+        assert batch.statistics.prefetch_seconds == 0.0
+        assert batch.statistics.trees_computed == distinct
+
+    def test_prefetched_contexts_match_per_request_construction(self, csr_fleet):
+        requests = _requests(csr_fleet, 5, seed=33)
+        batch = BatchContext.create(requests, csr_fleet.routing_engine, csr_fleet.grid)
+        matcher = SingleSideSearchMatcher(csr_fleet, config=SystemConfig())
+        for index, request in enumerate(requests):
+            solo = matcher.make_context(request)
+            pooled = batch.context_for(index)
+            assert pooled.direct == solo.direct
+            assert pooled.from_start(request.destination) == solo.from_start(
+                request.destination
+            )
+
+    def test_unknown_start_still_surfaces_at_the_requests_turn(self, csr_fleet):
+        good = _requests(csr_fleet, 1, seed=3)[0]
+        bad = Request(
+            start=10_000, destination=good.destination, riders=1,
+            max_waiting=6.0, service_constraint=0.4, request_id="bad",
+        )
+        batch = BatchContext.create(
+            [good, bad], csr_fleet.routing_engine, csr_fleet.grid
+        )
+        assert batch.error_for(0) is None
+        assert isinstance(batch.error_for(1), VertexNotFoundError)
+
+    def test_dict_engine_prefetch_noop_preserves_legacy_statistics(self, fleet):
+        requests = _requests(fleet, 5, seed=7)
+        batch = BatchContext.create(requests, fleet.routing_engine, fleet.grid)
+        distinct = len({r.start for r in requests})
+        assert batch.statistics.prefetched_trees == 0
+        assert batch.statistics.trees_computed == distinct
+        assert batch.statistics.trees_computed + batch.statistics.shared_tree_hits == len(
+            requests
+        )
 
 
 class TestShardedFleetView:

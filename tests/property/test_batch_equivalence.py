@@ -23,6 +23,7 @@ from repro.core.naive import NaiveKineticTreeMatcher
 from repro.core.single_side import SingleSideSearchMatcher
 from repro.model.request import Request
 from repro.roadnet.generators import grid_network
+from repro.roadnet.routing import make_engine
 
 from tests.conftest import build_fleet
 
@@ -70,9 +71,12 @@ def batch_scenarios(draw):
     return blueprint, requests, matcher_name, shards, policy, config
 
 
-def _build_dispatcher(blueprint, matcher_name, config):
+def _build_dispatcher(blueprint, matcher_name, config, backend=None):
     network, locations, grid_rows = blueprint
     fleet = build_fleet(network, locations, capacity=4, grid_rows=grid_rows, grid_columns=grid_rows)
+    if backend is not None:
+        # Swap before the matcher is built: matchers snapshot the engine.
+        fleet.set_routing_engine(make_engine(network, backend))
     matcher = MATCHERS[matcher_name](fleet, config=config)
     return Dispatcher(fleet, matcher, config)
 
@@ -138,6 +142,37 @@ def test_shared_tree_statistics_are_consistent(scenario):
     stats = dispatcher.last_batch_statistics
     assert stats is not None
     assert stats.requests == len(requests)
+    # The dict backend has no bulk path: every distinct start is computed.
+    assert stats.prefetched_trees == 0
     assert stats.trees_computed == len({r.start for r in requests})
     assert stats.trees_computed + stats.shared_tree_hits == len(requests)
     assert 0.0 <= stats.shared_tree_hit_rate <= 1.0
+
+
+@given(batch_scenarios(), st.sampled_from(["csr", "table"]))
+@settings(max_examples=16, deadline=None)
+def test_prefetched_batch_equals_sequential_on_vector_backends(scenario, backend):
+    """The one-shot tree-plane prefetch is pure restructuring: on the CSR and
+    table backends the batched pipeline must reproduce the sequential loop's
+    options, choices and fleet end-state float for float."""
+    blueprint, requests, matcher_name, shards, policy, config = scenario
+    sequential = _build_dispatcher(blueprint, matcher_name, config, backend=backend)
+    batched = _build_dispatcher(blueprint, matcher_name, config, backend=backend)
+
+    loop_outcomes = sequential.dispatch_sequential(requests, policy=policy)
+    pipeline_outcomes = batched.dispatch_batch(requests, policy=policy, shards=shards)
+
+    assert len(loop_outcomes) == len(pipeline_outcomes)
+    for loop, pipe in zip(loop_outcomes, pipeline_outcomes):
+        assert loop.options == pipe.options
+        assert loop.chosen == pipe.chosen
+    assert _fleet_state(sequential.fleet) == _fleet_state(batched.fleet)
+
+    stats = batched.last_batch_statistics
+    assert stats is not None
+    # Every tree came through the vectorised prefetch, counted exactly once.
+    assert stats.prefetched_trees == len({r.start for r in requests})
+    assert stats.trees_computed == 0
+    assert (
+        stats.prefetched_trees + stats.shared_tree_hits == len(requests)
+    )

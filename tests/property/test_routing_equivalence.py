@@ -121,9 +121,31 @@ def test_alt_lower_bounds_are_admissible(rows, columns, jitter, landmarks, seed)
 @settings(max_examples=15, deadline=None)
 def test_backend_factory_names_round_trip(rows, columns, jitter, seed):
     network = grid_network(rows, columns, weight_jitter=jitter, seed=seed)
-    engines = {name: make_engine(network, name) for name in ("dict", "csr", "csr+alt")}
+    engines = {
+        name: make_engine(network, name) for name in ("dict", "csr", "csr+alt", "table")
+    }
     u, v = network.vertices()[0], network.vertices()[-1]
     reference = engines["dict"].distance(u, v)
     for name, engine in engines.items():
         assert engine.backend == name
         assert math.isclose(engine.distance(u, v), reference, rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(
+    count=st.integers(min_value=10, max_value=30),
+    radius=st.floats(min_value=0.15, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_table_trees_match_dict_on_geometric_networks(count, radius, seed):
+    """Possibly-disconnected networks: the table must agree with the dict
+    backend on the reachable set as well as the values."""
+    network = random_geometric_network(count, radius=radius, seed=seed)
+    dict_engine = DictDijkstraEngine(network)
+    table_engine = make_engine(network, "table")
+    for source in _sample(network.vertices(), 5):
+        dict_tree = dict_engine.distances_from(source)
+        table_tree = table_engine.distances_from(source)
+        assert set(table_tree) == set(dict_tree)
+        for vertex, value in dict_tree.items():
+            assert math.isclose(table_tree[vertex], value, rel_tol=1e-12, abs_tol=1e-12)

@@ -13,6 +13,7 @@ from repro.roadnet.routing import (
     CSREngine,
     CSRGraph,
     DictDijkstraEngine,
+    TableEngine,
     ensure_engine,
     make_engine,
 )
@@ -197,6 +198,191 @@ class TestALT:
     def test_alt_index_rejects_nonpositive_landmarks(self):
         with pytest.raises(ValueError):
             ALTIndex(CSRGraph(grid_network(2, 2)), landmarks=0)
+
+
+class TestTreePlanes:
+    def test_trees_matches_per_source_tree(self):
+        graph = CSRGraph(grid_network(4, 4, weight_jitter=0.3, seed=7))
+        indices = [0, 5, 11]
+        plane = graph.trees(indices)
+        for position, index in enumerate(indices):
+            assert list(plane[position]) == list(graph.tree(index))
+
+    def test_empty_source_list(self):
+        graph = CSRGraph(grid_network(3, 3))
+        assert len(graph.trees([])) == 0
+
+    def test_pure_python_plane(self, monkeypatch):
+        monkeypatch.setattr(routing, "_csr_array", None)
+        graph = CSRGraph(grid_network(3, 3, weight_jitter=0.2, seed=3))
+        assert graph.matrix is None
+        plane = graph.trees([0, 4])
+        assert list(plane[0]) == list(graph.tree(0))
+        assert list(plane[1]) == list(graph.tree(4))
+
+
+class TestPrefetch:
+    def test_each_prefetched_tree_counts_one_dijkstra_run(self):
+        """A tree served from the prefetch plane is one computation, however
+        many consumers it later has (the EngineStats double-count fix)."""
+        engine = CSREngine(grid_network(4, 4))
+        views = engine.prefetch_trees([1, 2, 3, 1, 2])  # duplicates collapse
+        assert set(views) == {1, 2, 3}
+        assert engine.stats.dijkstra_runs == 3
+        # Serving the prefetched trees is a cache hit, never a re-computation.
+        for _ in range(4):
+            engine.distances_from(1)
+        assert engine.stats.dijkstra_runs == 3
+        assert engine.stats.cache_hits == 4
+
+    def test_cached_trees_are_returned_without_new_runs(self):
+        engine = CSREngine(grid_network(4, 4))
+        engine.distances_from(5)
+        assert engine.stats.dijkstra_runs == 1
+        views = engine.prefetch_trees([5, 6])
+        assert set(views) == {5, 6}
+        assert engine.stats.dijkstra_runs == 2  # only 6 was missing
+
+    def test_unknown_sources_are_skipped(self):
+        engine = CSREngine(grid_network(3, 3))
+        views = engine.prefetch_trees([1, 999])
+        assert set(views) == {1}
+
+    def test_views_survive_cache_eviction(self):
+        """Prefetching more trees than the LRU holds must still pin every
+        returned view (the batch relies on reference pinning, not the cache)."""
+        network = grid_network(4, 4)
+        engine = CSREngine(network, max_cached_sources=2)
+        sources = network.vertices()[:6]
+        views = engine.prefetch_trees(sources)
+        assert set(views) == set(sources)
+        reference = CSREngine(network)
+        for source in sources:
+            fresh = reference.distances_from(source)
+            assert {v: views[source][v] for v in views[source]} == {
+                v: fresh[v] for v in fresh
+            }
+
+    def test_prefetch_values_match_distances_from(self):
+        engine = CSREngine(grid_network(4, 4, weight_jitter=0.25, seed=9))
+        views = engine.prefetch_trees([2, 7])
+        tree = engine.distances_from(2)
+        assert {v: views[2][v] for v in views[2]} == {v: tree[v] for v in tree}
+
+    def test_dict_engine_prefetch_is_a_noop(self):
+        engine = DictDijkstraEngine(grid_network(3, 3))
+        assert engine.prefetch_trees([1, 2, 3]) == {}
+        assert engine.stats.dijkstra_runs == 0
+
+    def test_pure_python_prefetch(self, monkeypatch):
+        monkeypatch.setattr(routing, "_csr_array", None)
+        engine = CSREngine(grid_network(3, 3, weight_jitter=0.2, seed=5))
+        views = engine.prefetch_trees([1, 8])
+        reference = DictDijkstraEngine(engine.network)
+        for source in (1, 8):
+            fresh = reference.distances_from(source)
+            assert {v: round(views[source][v], 9) for v in views[source]} == {
+                v: round(fresh[v], 9) for v in fresh
+            }
+
+
+class TestTableEngine:
+    def test_distance_matches_dijkstra(self):
+        network = grid_network(5, 5, weight_jitter=0.4, seed=3)
+        engine = TableEngine(network)
+        for source, target in [(1, 25), (13, 2), (7, 19)]:
+            assert engine.distance(source, target) == pytest.approx(
+                shortest_path_distance(network, source, target)
+            )
+
+    def test_distance_is_plain_float(self):
+        engine = TableEngine(grid_network(3, 3))
+        assert type(engine.distance(1, 9)) is float
+
+    def test_disconnected_raises(self):
+        network = grid_network(3, 3)
+        network.add_vertex(99)
+        engine = TableEngine(network)
+        with pytest.raises(DisconnectedError):
+            engine.distance(1, 99)
+
+    def test_unknown_vertex_raises(self):
+        engine = TableEngine(grid_network(2, 2))
+        with pytest.raises(VertexNotFoundError):
+            engine.distance(1, 999)
+
+    def test_tree_view_is_a_row_of_the_table(self):
+        network = grid_network(3, 3)
+        engine = TableEngine(network)
+        tree = engine.distances_from(1)
+        assert tree[1] == 0.0
+        assert len(tree) == 9
+        oracle_tree = DistanceOracle(network).distances_from(1)
+        assert {v: tree[v] for v in tree} == pytest.approx(oracle_tree)
+
+    def test_path_is_valid_and_optimal(self):
+        network = grid_network(4, 4, weight_jitter=0.3, seed=9)
+        engine = TableEngine(network)
+        result = engine.path(1, 16)
+        assert result.path[0] == 1 and result.path[-1] == 16
+        assert path_length(network, result.path) == pytest.approx(result.distance)
+        assert result.distance == pytest.approx(shortest_path_distance(network, 1, 16))
+
+    def test_lower_bound_is_exact(self):
+        engine = TableEngine(grid_network(4, 4, weight_jitter=0.2, seed=4))
+        assert engine.exact_lower_bounds
+        assert engine.distance_lower_bound(1, 16) == engine.distance(1, 16)
+        assert engine.distance_lower_bound(7, 7) == 0.0
+
+    def test_lower_bound_infinite_for_disconnected(self):
+        network = grid_network(3, 3)
+        network.add_vertex(99)
+        engine = TableEngine(network)
+        assert engine.distance_lower_bound(1, 99) == float("inf")
+
+    def test_invalidate_rebuilds_after_mutation(self):
+        network = grid_network(1, 3)  # a path 1 - 2 - 3
+        engine = TableEngine(network)
+        before = engine.distance(1, 3)
+        network.add_vertex(4, x=0.5, y=1.0)
+        network.add_edge(1, 4, 0.1)
+        network.add_edge(4, 3, 0.1)
+        engine.invalidate()
+        assert engine.distance(1, 3) == pytest.approx(min(before, 0.2))
+
+    def test_build_counts_one_run_per_vertex(self):
+        engine = TableEngine(grid_network(3, 3))
+        assert engine.stats.dijkstra_runs == 9
+        engine.distance(1, 9)
+        assert engine.stats.dijkstra_runs == 9  # queries never re-run Dijkstra
+
+    def test_vertex_cap_refuses_large_networks(self):
+        with pytest.raises(ConfigurationError):
+            TableEngine(grid_network(3, 3), max_vertices=4)
+
+    def test_blocked_build_matches_unblocked(self):
+        network = grid_network(4, 4, weight_jitter=0.3, seed=11)
+        small_blocks = TableEngine(network, block_size=3)
+        one_block = TableEngine(network, block_size=1024)
+        vertices = network.vertices()
+        for u in vertices[::3]:
+            for v in vertices[::4]:
+                assert small_blocks.distance(u, v) == one_block.distance(u, v)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            TableEngine(grid_network(2, 2), block_size=0)
+
+    def test_pure_python_table(self, monkeypatch):
+        monkeypatch.setattr(routing, "_csr_array", None)
+        network = grid_network(3, 3, weight_jitter=0.2, seed=5)
+        engine = TableEngine(network, block_size=2)
+        assert engine.graph.matrix is None
+        reference = DictDijkstraEngine(network)
+        for source, target in [(1, 9), (4, 6), (2, 8)]:
+            assert engine.distance(source, target) == pytest.approx(
+                reference.distance(source, target)
+            )
 
 
 class TestDictEngine:
