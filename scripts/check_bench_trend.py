@@ -30,12 +30,22 @@ regenerated ``BENCH_results.json``; across very different hardware the
 threshold flags machine deltas, not code deltas.  Regenerate the committed
 record when that happens (the CI artifact archive keeps the trajectory).
 
+With ``--archive`` the fresh records are additionally appended to a
+trajectory file (default ``BENCH_trajectory.jsonl``): one JSON line per
+``(experiment, routing backend)`` aggregate, stamped with the current commit,
+so the perf history over *many* commits is readable directly instead of only
+pairwise against the last committed baseline.  Every experiment present in
+the fresh files is archived (not just the monitored ones), and archiving
+happens regardless of the regression verdict -- a regression is exactly what
+the trajectory should show.
+
 Usage::
 
     python scripts/check_bench_trend.py \
         --baseline bench-records/baseline.json \
         --fresh bench-records/e2-dict.json bench-records/e8-csr.json \
-        --experiments E2 E8 E12 [--threshold 0.25] [--aggregate median]
+        --experiments E2 E8 E12 [--threshold 0.25] [--aggregate median] \
+        [--archive] [--trajectory BENCH_trajectory.jsonl] [--commit SHA]
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from __future__ import annotations
 import argparse
 import json
 import statistics
+import subprocess
 import sys
 from pathlib import Path
 from typing import Dict, Iterable, List
@@ -76,6 +87,48 @@ def aggregate_wall_seconds(
     return {key: reduce(values) for key, values in walls.items()}
 
 
+def current_commit() -> str:
+    """The HEAD commit id, or "unknown" outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def archive_records(
+    records: List[dict], trajectory: Path, commit: str, aggregate: str
+) -> int:
+    """Append per-(experiment, backend) aggregates as JSON lines; returns count."""
+    experiments = sorted(
+        {
+            record["experiment"]
+            for record in records
+            if isinstance(record.get("experiment"), str)
+        }
+    )
+    walls = aggregate_wall_seconds(records, experiments, aggregate)
+    trajectory.parent.mkdir(parents=True, exist_ok=True)
+    with trajectory.open("a") as handle:
+        for (experiment, backend), wall in sorted(walls.items()):
+            handle.write(
+                json.dumps(
+                    {
+                        "commit": commit,
+                        "experiment": experiment,
+                        "routing_backend": backend,
+                        "wall_seconds": round(wall, 6),
+                        "aggregate": aggregate,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+    return len(walls)
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -99,12 +152,34 @@ def main(argv: List[str] | None = None) -> int:
         help="per-(experiment, backend) summary: 'min' for single runs, "
         "'median' when the fresh side holds repeated runs (default: min)",
     )
+    parser.add_argument(
+        "--archive", action="store_true",
+        help="append the fresh aggregates (every experiment present, all "
+        "backends) to the trajectory file, stamped with the current commit",
+    )
+    parser.add_argument(
+        "--trajectory", type=Path, default=Path("BENCH_trajectory.jsonl"),
+        help="trajectory file --archive appends to (default: "
+        "BENCH_trajectory.jsonl)",
+    )
+    parser.add_argument(
+        "--commit", default=None,
+        help="commit id recorded in archived lines (default: git HEAD)",
+    )
     args = parser.parse_args(argv)
 
+    fresh_records = load_records(args.fresh)
     baseline = aggregate_wall_seconds(
         load_records([args.baseline]), args.experiments, args.aggregate
     )
-    fresh = aggregate_wall_seconds(load_records(args.fresh), args.experiments, args.aggregate)
+    fresh = aggregate_wall_seconds(fresh_records, args.experiments, args.aggregate)
+
+    if args.archive:
+        commit = args.commit or current_commit()
+        archived = archive_records(
+            fresh_records, args.trajectory, commit, args.aggregate
+        )
+        print(f"archived {archived} aggregate(s) to {args.trajectory} @ {commit}")
 
     compared = sorted(set(baseline) & set(fresh))
     for key in sorted(set(baseline) ^ set(fresh)):

@@ -15,7 +15,7 @@ from typing import Optional
 
 from repro.core.pricing import LinearPriceModel
 from repro.errors import ConfigurationError
-from repro.roadnet.routing import ROUTING_BACKENDS
+from repro.roadnet.routing import DEFAULT_TABLE_MAX_VERTICES, ROUTING_BACKENDS
 
 __all__ = ["SystemConfig", "DEMO_SPEED_KMH"]
 
@@ -44,10 +44,19 @@ class SystemConfig:
             ("single_side", "dual_side" or "naive").
         price_model: the price calculator.
         routing_backend: which routing engine answers shortest-path queries
-            ("dict", "csr", "csr+alt" or "table"; see
+            ("dict", "csr", "csr+alt", "table" or "ch"; see
             :mod:`repro.roadnet.routing` -- "table" precomputes the all-pairs
             distance matrix, the right trade for city-benchmark networks up
-            to a few thousand vertices).
+            to a few thousand vertices; "ch" preprocesses a contraction
+            hierarchy, the right trade for the larger networks the table
+            refuses).
+        table_max_vertices: vertex cap of the "table" backend; beyond it the
+            all-pairs matrix (n^2 doubles) is refused rather than silently
+            swallowing gigabytes, with "ch" recommended instead.
+        routing_cache_dir: directory persisted compiled routing artifacts
+            (CSR compiles, ALT tables, distance tables, CH hierarchies) are
+            kept in, keyed by a content hash of the network, so service
+            restarts skip preprocessing.  ``None`` disables persistence.
         match_shards: number of fleet shards the batch dispatch pipeline
             partitions vehicles into (by grid cell); per-shard skylines are
             merged by dominance, so any value yields the same options.  ``1``
@@ -62,6 +71,8 @@ class SystemConfig:
     matcher_name: str = "single_side"
     price_model: LinearPriceModel = field(default_factory=LinearPriceModel)
     routing_backend: str = "dict"
+    table_max_vertices: int = DEFAULT_TABLE_MAX_VERTICES
+    routing_cache_dir: Optional[str] = None
     match_shards: int = 1
 
     _VALID_MATCHERS = ("single_side", "dual_side", "naive")
@@ -88,6 +99,10 @@ class SystemConfig:
         if self.routing_backend not in ROUTING_BACKENDS:
             raise ConfigurationError(
                 f"routing_backend must be one of {ROUTING_BACKENDS}, got {self.routing_backend!r}"
+            )
+        if self.table_max_vertices < 1:
+            raise ConfigurationError(
+                f"table_max_vertices must be >= 1, got {self.table_max_vertices}"
             )
         if self.match_shards < 1:
             raise ConfigurationError(f"match_shards must be >= 1, got {self.match_shards}")

@@ -8,8 +8,12 @@ road network:
 * :mod:`repro.roadnet.shortest_path` -- Dijkstra variants and a memoising
   distance oracle;
 * :mod:`repro.roadnet.routing` -- the pluggable routing engines (the dict
-  Dijkstra reference backend, the CSR array backend and the ALT landmark
-  lower-bound index) every distance/path query goes through;
+  Dijkstra reference backend, the CSR array backend, the ALT landmark
+  lower-bound index, the all-pairs table and the contraction hierarchy)
+  every distance/path query goes through;
+* :mod:`repro.roadnet.artifacts` -- the persisted compiled-artifact cache
+  (content-hash-keyed ``.npz`` files) that lets restarts skip routing
+  preprocessing;
 * :mod:`repro.roadnet.grid_index` -- the grid partition index of Section 3.2.1
   of the paper (border vertices, ``v.min``, cell-pair lower bounds, sorted
   grid lists, per-cell vehicle lists);
@@ -32,17 +36,22 @@ from repro.roadnet.shortest_path import (
     shortest_path,
     shortest_path_distance,
 )
+from repro.roadnet.artifacts import ArtifactCache, network_fingerprint
 from repro.roadnet.routing import (
     ROUTING_BACKENDS,
     ALTIndex,
+    CHEngine,
+    ContractionHierarchy,
     CSREngine,
     CSRGraph,
     DictDijkstraEngine,
     RoutingEngine,
+    TableEngine,
     ensure_engine,
     make_engine,
 )
 from repro.roadnet.generators import (
+    arterial_grid_network,
     figure1_network,
     grid_network,
     random_geometric_network,
@@ -51,7 +60,10 @@ from repro.roadnet.generators import (
 
 __all__ = [
     "ALTIndex",
+    "ArtifactCache",
     "BoundingBox",
+    "CHEngine",
+    "ContractionHierarchy",
     "CSREngine",
     "CSRGraph",
     "DictDijkstraEngine",
@@ -65,6 +77,8 @@ __all__ = [
     "PathResult",
     "Point",
     "RoadNetwork",
+    "TableEngine",
+    "arterial_grid_network",
     "bidirectional_dijkstra",
     "ensure_engine",
     "make_engine",
@@ -72,6 +86,7 @@ __all__ = [
     "dijkstra_all",
     "euclidean_distance",
     "figure1_network",
+    "network_fingerprint",
     "grid_network",
     "haversine_distance",
     "multi_source_dijkstra",

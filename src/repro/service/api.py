@@ -339,6 +339,7 @@ class PTRiderService:
         max_pickup_distance: Optional[float] = None,
         matcher_name: Optional[str] = None,
         routing_backend: Optional[str] = None,
+        table_max_vertices: Optional[int] = None,
         match_shards: Optional[int] = None,
     ) -> SystemConfig:
         """The admin form: update global parameters and/or swap the matcher.
@@ -346,11 +347,15 @@ class PTRiderService:
         Capacity changes apply to vehicles added afterwards (existing taxis
         keep their physical capacity, as they would in reality).  Changing
         ``routing_backend`` rebuilds the routing engine (and therefore its
-        caches) on the same road network; the matcher and dispatcher are
-        rebuilt on top of it.  ``match_shards`` controls how many fleet
-        shards the batch dispatch pipeline partitions vehicles into; any
-        value yields the same options (the per-shard skylines merge
-        losslessly), so it is purely a scale-out knob.
+        caches) on the same road network -- consulting the config's
+        ``routing_cache_dir`` so a previously compiled artifact is loaded
+        rather than rebuilt; the matcher and dispatcher are rebuilt on top
+        of it.  ``table_max_vertices`` adjusts the all-pairs table's vertex
+        cap (applied the next time a table engine is built).
+        ``match_shards`` controls how many fleet shards the batch dispatch
+        pipeline partitions vehicles into; any value yields the same options
+        (the per-shard skylines merge losslessly), so it is purely a
+        scale-out knob.
         """
         changes: Dict[str, object] = {}
         if max_waiting is not None:
@@ -361,6 +366,8 @@ class PTRiderService:
             changes["vehicle_capacity"] = vehicle_capacity
         if max_pickup_distance is not None:
             changes["max_pickup_distance"] = max_pickup_distance
+        if table_max_vertices is not None:
+            changes["table_max_vertices"] = table_max_vertices
         if match_shards is not None:
             changes["match_shards"] = match_shards
         if matcher_name is not None:
@@ -376,12 +383,19 @@ class PTRiderService:
                     f"unknown routing backend {routing_backend!r}; choose one of {ROUTING_BACKENDS}"
                 )
             changes["routing_backend"] = routing_backend
-        if changes:
-            self._config = self._config.with_updates(**changes)
+        new_config = self._config.with_updates(**changes) if changes else self._config
         if routing_backend is not None and routing_backend != self._fleet.routing_engine.backend:
-            self._fleet.set_routing_engine(
-                make_engine(self._fleet.grid.network, routing_backend)
+            # Build the engine *before* committing the new config: a refused
+            # build (e.g. "table" beyond table_max_vertices) must leave the
+            # service exactly as it was, not claiming a backend it never got.
+            engine = make_engine(
+                self._fleet.grid.network,
+                routing_backend,
+                table_max_vertices=new_config.table_max_vertices,
+                cache_dir=new_config.routing_cache_dir,
             )
+            self._fleet.set_routing_engine(engine)
+        self._config = new_config
         if matcher_name is not None:
             self._matcher = self._build_matcher(matcher_name)
         else:
@@ -409,6 +423,7 @@ def build_system(
     config: Optional[SystemConfig] = None,
     seed: Optional[int] = None,
     routing: Optional[str] = None,
+    routing_cache: Optional[str] = None,
 ) -> PTRiderService:
     """Build a ready-to-use PTRider system.
 
@@ -421,8 +436,10 @@ def build_system(
         config: global parameters (a default :class:`SystemConfig` otherwise,
             with the requested capacity).
         seed: seed controlling vehicle placement and idle wandering.
-        routing: routing backend override ("dict", "csr" or "csr+alt");
-            defaults to the config's ``routing_backend``.
+        routing: routing backend override ("dict", "csr", "csr+alt", "table"
+            or "ch"); defaults to the config's ``routing_backend``.
+        routing_cache: compiled-artifact cache directory override; defaults
+            to the config's ``routing_cache_dir``.
 
     Returns:
         A :class:`PTRiderService` whose fleet is registered and idle.
@@ -433,7 +450,14 @@ def build_system(
     system_config = config or SystemConfig(vehicle_capacity=capacity)
     if routing is not None and routing != system_config.routing_backend:
         system_config = system_config.with_updates(routing_backend=routing)
-    engine = make_engine(network, system_config.routing_backend)
+    if routing_cache is not None and routing_cache != system_config.routing_cache_dir:
+        system_config = system_config.with_updates(routing_cache_dir=routing_cache)
+    engine = make_engine(
+        network,
+        system_config.routing_backend,
+        table_max_vertices=system_config.table_max_vertices,
+        cache_dir=system_config.routing_cache_dir,
+    )
     grid = GridIndex(network, rows=grid_rows, columns=grid_columns)
     fleet = Fleet(grid, engine)
     vertices = network.vertices()

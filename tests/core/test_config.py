@@ -46,8 +46,20 @@ class TestValidation:
             SystemConfig(routing_backend="teleport")
 
     def test_routing_backend_accepts_known_names(self):
-        for backend in ("dict", "csr", "csr+alt"):
+        for backend in ("dict", "csr", "csr+alt", "table", "ch"):
             assert SystemConfig(routing_backend=backend).routing_backend == backend
+
+    def test_invalid_table_max_vertices(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(table_max_vertices=0)
+
+    def test_routing_cache_defaults_off(self):
+        config = SystemConfig()
+        assert config.routing_cache_dir is None
+        assert config.table_max_vertices == 4096
+        cached = SystemConfig(routing_cache_dir="/tmp/artifacts", table_max_vertices=128)
+        assert cached.routing_cache_dir == "/tmp/artifacts"
+        assert cached.table_max_vertices == 128
 
 
 class TestBehaviour:

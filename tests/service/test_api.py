@@ -163,6 +163,31 @@ class TestWebsiteInterface:
         with pytest.raises(ConfigurationError):
             paper_service.set_parameters(routing_backend="teleport")
 
+    def test_set_parameters_switches_to_ch_backend(self, paper_service):
+        before = paper_service.book(start=12, destination=17, riders=2)
+        config = paper_service.set_parameters(routing_backend="ch")
+        assert config.routing_backend == "ch"
+        assert paper_service.fleet.routing_engine.backend == "ch"
+        after = paper_service.book(start=12, destination=17, riders=2)
+        assert [
+            (o.vehicle_id, round(o.pickup_distance, 6), round(o.price, 6)) for o in before.options
+        ] == [
+            (o.vehicle_id, round(o.pickup_distance, 6), round(o.price, 6)) for o in after.options
+        ]
+
+    def test_set_parameters_table_max_vertices(self, paper_service):
+        config = paper_service.set_parameters(table_max_vertices=8)
+        assert config.table_max_vertices == 8
+        # the 17-vertex paper network now exceeds the cap, so the admin's
+        # next attempt to switch to the table backend is refused ...
+        before_backend = paper_service.fleet.routing_engine.backend
+        with pytest.raises(ConfigurationError):
+            paper_service.set_parameters(routing_backend="table")
+        # ... and the refusal leaves the service exactly as it was: neither
+        # the config nor the fleet's engine claims the backend it never got
+        assert paper_service.config.routing_backend == before_backend
+        assert paper_service.fleet.routing_engine.backend == before_backend
+
 
 class TestBuildSystem:
     def test_build_system_defaults(self):

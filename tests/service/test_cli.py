@@ -39,6 +39,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--routing", "bogus"])
 
+    def test_routing_defaults_to_csr(self):
+        for command in ("demo", "simulate", "compare"):
+            args = build_parser().parse_args([command])
+            assert args.routing == "csr"
+            assert args.routing_cache is None
+
+    def test_dict_backend_stays_selectable(self):
+        for command in ("demo", "simulate", "compare"):
+            args = build_parser().parse_args([command, "--routing", "dict"])
+            assert args.routing == "dict"
+
+    def test_ch_backend_and_cache_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "--routing", "ch", "--routing-cache", "/tmp/artifacts"]
+        )
+        assert args.routing == "ch"
+        assert args.routing_cache == "/tmp/artifacts"
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
