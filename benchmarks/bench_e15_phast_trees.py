@@ -1,0 +1,279 @@
+"""E15 -- hierarchy-native distance trees: PHAST planes vs SciPy planes.
+
+PR 4 made the ch backend's *point queries* hierarchy-native; its full
+distance trees still rode the SciPy ``dijkstra(indices=[...])`` plane.
+This experiment measures what the :class:`PHASTTreeProvider` changes on the
+E14 city (19,600-vertex arterial grid):
+
+* **tree planes** -- a batch of cold start-rooted trees computed by the
+  forced ``plane`` and ``phast`` providers of the same ch engine must be
+  **bit-identical**, and both throughputs are recorded.  The honest
+  headline is recorded, not spun: SciPy's C Dijkstra stays the fastest
+  tree path where SciPy exists (which is why ``auto`` keeps it), while the
+  NumPy sweep beats the *pure-Python* Dijkstra planes -- the tree path a
+  SciPy-less deployment would otherwise be stuck with -- severalfold;
+* **dispatch ablation** -- the same burst dispatched with ``plane`` and
+  ``phast`` trees commits byte-identical outcomes (same options, same
+  prices, same winners): the provider is a pure accelerator seam;
+* **SciPy-free serving** -- with the plane path stubbed out entirely, the
+  phast engine still answers ``distances_from`` / ``prefetch_trees``
+  (billed to ``phast_sweeps``, with zero ``dijkstra_runs``): no tree
+  request can leak back to SciPy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.dispatcher import OptionPolicy
+from repro.roadnet.generators import arterial_grid_network
+from repro.roadnet.routing import CSRGraph, make_engine
+from repro.sim.workload import random_requests
+
+from common import DEFAULT_CONFIG, HAVE_SCIPY, build_city, record_result
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the benchmark needs the fast path
+    _np = None
+
+pytestmark = pytest.mark.skipif(
+    _np is None, reason="E15 measures the NumPy PHAST sweep"
+)
+
+ROWS = 140
+COLUMNS = 140
+ARTERIAL_EVERY = 7
+SEED = 23
+#: distinct tree sources of the plane-throughput phase
+TREE_SOURCES = 48
+#: best-of repetitions (damps scheduler noise on CI runners)
+REPEATS = 3
+#: sources of the pure-Python-plane comparison -- enough for the sweep's
+#: per-batch overhead to amortise, small enough that the deliberately slow
+#: pure-Python side stays CI-friendly (~25 ms per tree on 19.6k vertices)
+PYTHON_TREE_SOURCES = 24
+VEHICLES = 24
+REQUESTS = 30
+
+
+@pytest.fixture(scope="module")
+def network():
+    """The E14 city: 19,600 vertices, fast arterials over slow locals."""
+    return arterial_grid_network(
+        ROWS, COLUMNS, weight_jitter=0.3, arterial_every=ARTERIAL_EVERY, seed=SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    """One artifact cache shared by every engine of the module (one CH build)."""
+    return str(tmp_path_factory.mktemp("routing-artifacts"))
+
+
+@pytest.fixture(scope="module")
+def phast_engine(network, cache_dir):
+    """The ch engine with hierarchy-native trees forced on."""
+    return make_engine(network, "ch", cache_dir=cache_dir, tree_provider="phast")
+
+
+def _tree_sources(network, count):
+    step = max(1, network.vertex_count // count)
+    return network.vertices()[::step][:count]
+
+
+def _best_of(callable_, repeats=REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_e15_phast_planes_bit_identical_and_throughput(network, cache_dir, phast_engine):
+    """PHAST planes == SciPy planes bit for bit; both throughputs recorded."""
+    if not HAVE_SCIPY:
+        pytest.skip("the plane-throughput comparison needs the SciPy C path")
+    sources = _tree_sources(network, TREE_SOURCES)
+    indices = [phast_engine.graph.index(vertex) for vertex in sources]
+    plane_engine = make_engine(network, "ch", cache_dir=cache_dir, tree_provider="plane")
+    assert phast_engine.tree_provider_name == "phast"
+    assert plane_engine.tree_provider_name == "plane"
+
+    phast_wall, phast_plane = _best_of(
+        lambda: phast_engine.tree_provider.trees(indices)
+    )
+    scipy_wall, scipy_plane = _best_of(
+        lambda: plane_engine.tree_provider.trees(indices)
+    )
+    # Bit-identical, not approximately equal: the whole ablation rests on it.
+    assert _np.array_equal(_np.asarray(phast_plane), _np.asarray(scipy_plane))
+
+    record_result(
+        "E15",
+        scipy_wall,
+        routing_backend="ch",
+        phase="tree_planes",
+        tree_provider="plane",
+        trees=len(indices),
+        ms_per_tree=round(scipy_wall / len(indices) * 1000, 3),
+        trees_per_second=round(len(indices) / scipy_wall, 1),
+        vertices=network.vertex_count,
+    )
+    record_result(
+        "E15",
+        phast_wall,
+        routing_backend="ch",
+        phase="tree_planes",
+        tree_provider="phast",
+        trees=len(indices),
+        ms_per_tree=round(phast_wall / len(indices) * 1000, 3),
+        trees_per_second=round(len(indices) / phast_wall, 1),
+        vertices=network.vertex_count,
+        # same convention as speedup_vs_python: other / phast, so < 1 means
+        # the other side (here SciPy's C plane) is faster
+        speedup_vs_scipy=round(scipy_wall / phast_wall, 3),
+    )
+    # No speed *claim* against the C path -- `auto` already encodes the
+    # honest verdict (SciPy wins where it exists; measured ~3x here) -- but
+    # a collapse past 10x would mean the sweep itself broke.
+    assert phast_wall < 10 * scipy_wall, (
+        f"PHAST planes collapsed to {phast_wall / scipy_wall:.1f}x the SciPy "
+        f"plane wall ({phast_wall:.3f}s vs {scipy_wall:.3f}s)"
+    )
+
+
+def test_e15_phast_beats_pure_python_planes(network, phast_engine):
+    """The deployment story: NumPy-only environments (no SciPy) get trees
+    from the sweep several times faster than from per-source pure-Python
+    Dijkstras, which is exactly when ``auto`` switches over."""
+    sources = _tree_sources(network, PYTHON_TREE_SOURCES)
+    indices = [phast_engine.graph.index(vertex) for vertex in sources]
+
+    python_graph = CSRGraph(network)
+    python_graph.matrix = None  # what CSRGraph.trees degrades to without SciPy
+    # same best-of-N on both sides: the comparison must not hand the slow
+    # side a single (hiccup-exposed) run while the fast side takes a min
+    python_wall, python_plane = _best_of(lambda: python_graph.trees(indices))
+
+    phast_wall, phast_plane = _best_of(
+        lambda: phast_engine.tree_provider.trees(indices)
+    )
+    for position in range(len(indices)):
+        assert [float(v) for v in phast_plane[position]] == [
+            float(v) for v in python_plane[position]
+        ]
+    speedup = python_wall / phast_wall
+    record_result(
+        "E15",
+        python_wall,
+        routing_backend="ch",
+        phase="python_planes",
+        tree_provider="python-dijkstra",
+        trees=len(indices),
+        ms_per_tree=round(python_wall / len(indices) * 1000, 3),
+        vertices=network.vertex_count,
+    )
+    record_result(
+        "E15",
+        phast_wall,
+        routing_backend="ch",
+        phase="python_planes",
+        tree_provider="phast",
+        trees=len(indices),
+        ms_per_tree=round(phast_wall / len(indices) * 1000, 3),
+        vertices=network.vertex_count,
+        speedup_vs_python=round(speedup, 2),
+    )
+    assert speedup >= 1.5, (
+        f"PHAST planes only {speedup:.2f}x over pure-Python Dijkstra planes "
+        f"(python {python_wall:.3f}s, phast {phast_wall:.3f}s)"
+    )
+
+
+def test_e15_dispatch_outcomes_byte_identical_across_providers(network, cache_dir):
+    """The same burst dispatched on plane vs phast trees commits identically."""
+
+    def run(provider):
+        config = DEFAULT_CONFIG.with_updates(tree_provider=provider)
+        city = build_city(
+            vehicles=VEHICLES,
+            grid_rows=10,
+            grid_columns=10,
+            seed=SEED,
+            routing="ch",
+            cache_dir=cache_dir,
+            network=network,
+            config=config,
+        )
+        requests = random_requests(
+            city.network,
+            REQUESTS,
+            city.config.max_waiting,
+            city.config.service_constraint,
+            seed=11,
+        )
+        dispatcher = city.dispatcher("single_side")
+        started = time.perf_counter()
+        outcomes = dispatcher.dispatch_batch(requests, policy=OptionPolicy.CHEAPEST)
+        wall = time.perf_counter() - started
+        stats = dispatcher.last_batch_statistics
+        keys = [(o.request.request_id, tuple(o.options), o.chosen) for o in outcomes]
+        return keys, wall, stats
+
+    plane_keys, plane_wall, plane_stats = run("plane")
+    phast_keys, phast_wall, phast_stats = run("phast")
+    assert phast_keys == plane_keys
+    assert plane_stats.tree_provider == "plane"
+    assert phast_stats.tree_provider == "phast"
+    for provider, wall, stats in (
+        ("plane", plane_wall, plane_stats),
+        ("phast", phast_wall, phast_stats),
+    ):
+        record_result(
+            "E15",
+            wall,
+            routing_backend="ch",
+            phase="dispatch",
+            tree_provider=provider,
+            requests=REQUESTS,
+            vehicles=VEHICLES,
+            prefetched_trees=stats.prefetched_trees,
+            prefetch_seconds=round(stats.prefetch_seconds, 6),
+            vertices=network.vertex_count,
+        )
+
+
+def test_e15_ch_serves_with_scipy_absent_from_the_tree_path(
+    network, phast_engine, monkeypatch
+):
+    """No tree request may reach the SciPy plane seam on the phast engine."""
+
+    def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("tree request leaked to the SciPy plane path")
+
+    monkeypatch.setattr(CSRGraph, "tree", forbidden)
+    monkeypatch.setattr(CSRGraph, "trees", forbidden)
+    sources = _tree_sources(network, 12)
+    sweeps_before = phast_engine.stats.phast_sweeps
+    started = time.perf_counter()
+    tree = phast_engine.distances_from(sources[0])
+    views = phast_engine.prefetch_trees(sources)
+    wall = time.perf_counter() - started
+    assert len(tree) == network.vertex_count
+    assert set(views) == set(sources)
+    assert phast_engine.stats.phast_sweeps > sweeps_before
+    assert phast_engine.stats.dijkstra_runs == 0
+    record_result(
+        "E15",
+        wall,
+        routing_backend="ch",
+        phase="scipy_free_serving",
+        tree_provider="phast",
+        trees=phast_engine.stats.phast_sweeps - sweeps_before,
+        vertices=network.vertex_count,
+    )

@@ -9,11 +9,17 @@ experiment's best wall time regressed by more than the threshold
 (default 25%), so a PR that slows the hot path fails its workflow instead of
 silently shipping.
 
-Per ``(experiment, routing backend)`` pair an aggregate of the wall times on
-each side is compared -- the records of one experiment mix entry kinds
-(whole-simulation runs, routing-layer probes) and repetitions; separating
-backends keeps a regression in one backend from hiding behind a faster
-record of another.  Two aggregates are offered:
+Per ``(experiment, routing backend, phase, tree provider)`` an aggregate of
+the wall times on each side is compared -- the records of one experiment mix
+entry kinds (whole-simulation runs, routing-layer probes) and repetitions;
+separating backends keeps a regression in one backend from hiding behind a
+faster record of another, and separating phases and tree providers (records
+without the field form their own unnamed group for that dimension) keeps
+e.g. a point-query regression from hiding behind a faster artifact-cache
+disk read, or a PHAST-plane regression behind the faster SciPy plane, in
+the same experiment.  ``--skip-phases`` drops named phases from the *comparison*
+(never from archiving) for measurements too noise-dominated to gate on,
+such as warm-restart disk reads.  Two aggregates are offered:
 
 * ``min`` (default) -- "how fast can this experiment go on this machine";
   the most noise-tolerant choice when each side holds a single run.
@@ -71,20 +77,46 @@ def load_records(paths: Iterable[Path]) -> List[dict]:
 
 
 def aggregate_wall_seconds(
-    records: List[dict], experiments: Iterable[str], aggregate: str = "min"
+    records: List[dict],
+    experiments: Iterable[str],
+    aggregate: str = "min",
+    skip_phases: Iterable[str] = (),
 ) -> Dict[tuple, float]:
-    """Aggregated ``wall_seconds`` per monitored (experiment, routing backend)."""
+    """Aggregated ``wall_seconds`` per (experiment, backend, phase, provider).
+
+    Records without a ``phase`` / ``tree_provider`` field share one unnamed
+    ("") group for that dimension, so experiments that never adopted the
+    fields keep their historical keys.  Both dimensions exist for the same
+    reason: an ablation's slow side must never hide behind its faster
+    sibling in a shared min/median (E14's point queries vs its disk reads,
+    E15's PHAST planes vs its SciPy planes).  Phases named in
+    ``skip_phases`` are dropped entirely.
+    """
     walls: Dict[tuple, List[float]] = {}
     wanted = set(experiments)
+    skipped = set(skip_phases)
     for record in records:
         experiment = record.get("experiment")
         wall = record.get("wall_seconds")
         if experiment not in wanted or not isinstance(wall, (int, float)):
             continue
-        key = (experiment, record.get("routing_backend", "dict"))
+        phase = str(record.get("phase") or "")
+        if phase in skipped:
+            continue
+        provider = str(record.get("tree_provider") or "")
+        key = (experiment, record.get("routing_backend", "dict"), phase, provider)
         walls.setdefault(key, []).append(float(wall))
     reduce = min if aggregate == "min" else statistics.median
     return {key: reduce(values) for key, values in walls.items()}
+
+
+def describe(key: tuple) -> str:
+    """Human label of an aggregate key: ``E15 [ch:tree_planes@phast]``."""
+    experiment, backend, phase, provider = key
+    suffix = f":{phase}" if phase else ""
+    if provider:
+        suffix += f"@{provider}"
+    return f"{experiment} [{backend}{suffix}]"
 
 
 def current_commit() -> str:
@@ -112,20 +144,19 @@ def archive_records(
     walls = aggregate_wall_seconds(records, experiments, aggregate)
     trajectory.parent.mkdir(parents=True, exist_ok=True)
     with trajectory.open("a") as handle:
-        for (experiment, backend), wall in sorted(walls.items()):
-            handle.write(
-                json.dumps(
-                    {
-                        "commit": commit,
-                        "experiment": experiment,
-                        "routing_backend": backend,
-                        "wall_seconds": round(wall, 6),
-                        "aggregate": aggregate,
-                    },
-                    sort_keys=True,
-                )
-                + "\n"
-            )
+        for (experiment, backend, phase, provider), wall in sorted(walls.items()):
+            row = {
+                "commit": commit,
+                "experiment": experiment,
+                "routing_backend": backend,
+                "wall_seconds": round(wall, 6),
+                "aggregate": aggregate,
+            }
+            if phase:
+                row["phase"] = phase
+            if provider:
+                row["tree_provider"] = provider
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
     return len(walls)
 
 
@@ -149,8 +180,13 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--aggregate", choices=("min", "median"), default="min",
-        help="per-(experiment, backend) summary: 'min' for single runs, "
-        "'median' when the fresh side holds repeated runs (default: min)",
+        help="per-(experiment, backend, phase) summary: 'min' for single "
+        "runs, 'median' when the fresh side holds repeated runs (default: min)",
+    )
+    parser.add_argument(
+        "--skip-phases", nargs="*", default=[],
+        help="record phases excluded from the regression comparison (still "
+        "archived); e.g. warm_restart, whose wall is a page-cache lottery",
     )
     parser.add_argument(
         "--archive", action="store_true",
@@ -170,9 +206,12 @@ def main(argv: List[str] | None = None) -> int:
 
     fresh_records = load_records(args.fresh)
     baseline = aggregate_wall_seconds(
-        load_records([args.baseline]), args.experiments, args.aggregate
+        load_records([args.baseline]), args.experiments, args.aggregate,
+        args.skip_phases,
     )
-    fresh = aggregate_wall_seconds(fresh_records, args.experiments, args.aggregate)
+    fresh = aggregate_wall_seconds(
+        fresh_records, args.experiments, args.aggregate, args.skip_phases
+    )
 
     if args.archive:
         commit = args.commit or current_commit()
@@ -184,20 +223,19 @@ def main(argv: List[str] | None = None) -> int:
     compared = sorted(set(baseline) & set(fresh))
     for key in sorted(set(baseline) ^ set(fresh)):
         side = "fresh" if key in baseline else "committed baseline"
-        print(f"{key[0]} [{key[1]}]: no {side} record -- skipped")
+        print(f"{describe(key)}: no {side} record -- skipped")
 
     failures = []
     for key in compared:
-        experiment, backend = key
         before, after = baseline[key], fresh[key]
         ratio = after / before if before > 0 else float("inf")
         verdict = "OK" if ratio <= 1.0 + args.threshold else "REGRESSED"
         print(
-            f"{experiment} [{backend}]: baseline {before:.4f}s -> fresh {after:.4f}s "
+            f"{describe(key)}: baseline {before:.4f}s -> fresh {after:.4f}s "
             f"({ratio:.2f}x) {verdict}"
         )
         if verdict == "REGRESSED":
-            failures.append(f"{experiment} [{backend}]")
+            failures.append(describe(key))
 
     if not compared:
         print("no overlapping (experiment, backend) records -- nothing compared")

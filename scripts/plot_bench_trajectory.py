@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Render ``BENCH_trajectory.jsonl`` into a wall-time report (markdown + SVG).
+
+``check_bench_trend.py --archive`` appends one JSON line per
+``(experiment, routing backend)`` aggregate to the trajectory file at every
+monitored run, stamped with the commit that produced it.  That file is the
+perf history of the repository -- but a pile of JSON lines is unreadable in
+a CI artifact listing.  This script turns it into:
+
+* ``trajectory.md`` -- one section per experiment: a commit x backend table
+  of wall seconds (commits in file order, i.e. chronological), each
+  experiment's fastest cell marked, plus a delta column against the first
+  recorded commit;
+* ``<experiment>.svg`` -- a dependency-free line chart per experiment (one
+  polyline per backend over the commit sequence), linked from the markdown.
+
+Everything is stdlib-only, so the script runs in any CI leg -- including the
+no-accelerator one -- and the SVGs are committed-artifact friendly (pure
+text, deterministic output for identical input).
+
+Usage::
+
+    python scripts/plot_bench_trajectory.py \
+        [--trajectory BENCH_trajectory.jsonl] [--output-dir bench-report] \
+        [--experiments E2 E12 ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Chart geometry (pixels).
+WIDTH, HEIGHT = 720, 300
+MARGIN_LEFT, MARGIN_RIGHT, MARGIN_TOP, MARGIN_BOTTOM = 64, 16, 28, 52
+
+#: One fixed colour per backend so every chart reads the same way.
+BACKEND_COLOURS = {
+    "dict": "#888888",
+    "csr": "#1f77b4",
+    "csr+alt": "#17becf",
+    "table": "#2ca02c",
+    "ch": "#d62728",
+}
+FALLBACK_COLOURS = ("#9467bd", "#8c564b", "#e377c2", "#bcbd22", "#ff7f0e")
+
+
+def load_trajectory(path: Path) -> List[dict]:
+    """Parse the JSONL trajectory; malformed lines fail loudly with context."""
+    rows: List[dict] = []
+    for line_number, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError as error:
+            raise SystemExit(f"{path}:{line_number}: not JSON: {error}")
+        if not isinstance(row, dict):
+            raise SystemExit(f"{path}:{line_number}: expected a JSON object")
+        rows.append(row)
+    return rows
+
+
+def organise(
+    rows: List[dict], experiments: Optional[List[str]] = None
+) -> Dict[str, Tuple[List[str], Dict[str, Dict[str, float]]]]:
+    """Group rows per experiment.
+
+    Returns ``{experiment: (commits_in_order, {series: {commit: wall}})}``
+    where a series is the routing backend, suffixed ``:phase`` and/or
+    ``@tree_provider`` for rows that carry those fields (each ablation arm
+    charts as its own line).  A commit appearing multiple times for the
+    same series keeps its latest value (a re-run of the same commit
+    supersedes).
+    """
+    result: Dict[str, Tuple[List[str], Dict[str, Dict[str, float]]]] = {}
+    wanted = set(experiments) if experiments else None
+    for row in rows:
+        experiment = row.get("experiment")
+        commit = row.get("commit")
+        backend = row.get("routing_backend", "dict")
+        phase = row.get("phase")
+        if isinstance(phase, str) and phase:
+            backend = f"{backend}:{phase}"
+        provider = row.get("tree_provider")
+        if isinstance(provider, str) and provider:
+            backend = f"{backend}@{provider}"
+        wall = row.get("wall_seconds")
+        if not isinstance(experiment, str) or not isinstance(commit, str):
+            continue
+        if not isinstance(wall, (int, float)):
+            continue
+        if wanted is not None and experiment not in wanted:
+            continue
+        commits, series = result.setdefault(experiment, ([], {}))
+        if commit not in commits:
+            commits.append(commit)
+        series.setdefault(backend, {})[commit] = float(wall)
+    return result
+
+
+def _colour(backend: str, position: int) -> str:
+    return BACKEND_COLOURS.get(
+        backend, FALLBACK_COLOURS[position % len(FALLBACK_COLOURS)]
+    )
+
+
+def render_svg(
+    experiment: str, commits: List[str], series: Dict[str, Dict[str, float]]
+) -> str:
+    """One line chart: wall seconds (y) over the commit sequence (x)."""
+    walls = [
+        wall for by_commit in series.values() for wall in by_commit.values()
+    ]
+    top = max(walls) * 1.08 if walls else 1.0
+    plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+
+    def x_of(index: int) -> float:
+        if len(commits) == 1:
+            return MARGIN_LEFT + plot_w / 2
+        return MARGIN_LEFT + plot_w * index / (len(commits) - 1)
+
+    def y_of(wall: float) -> float:
+        return MARGIN_TOP + plot_h * (1 - wall / top)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="monospace" font-size="11">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN_LEFT}" y="16" font-size="13" fill="#333">'
+        f"{experiment} wall seconds (lower is better)</text>",
+    ]
+    # y grid: 4 lines
+    for step in range(5):
+        value = top * step / 4
+        y = y_of(value)
+        parts.append(
+            f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" x2="{WIDTH - MARGIN_RIGHT}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_LEFT - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'fill="#666">{value:.3g}</text>'
+        )
+    # x labels: commits, thinned to at most 8
+    stride = max(1, (len(commits) + 7) // 8)
+    for index, commit in enumerate(commits):
+        if index % stride and index != len(commits) - 1:
+            continue
+        x = x_of(index)
+        parts.append(
+            f'<text x="{x:.1f}" y="{HEIGHT - MARGIN_BOTTOM + 16}" '
+            f'text-anchor="middle" fill="#666">{commit[:12]}</text>'
+        )
+    # series
+    for position, backend in enumerate(sorted(series)):
+        by_commit = series[backend]
+        colour = _colour(backend, position)
+        points = [
+            (x_of(index), y_of(by_commit[commit]))
+            for index, commit in enumerate(commits)
+            if commit in by_commit
+        ]
+        if len(points) > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{colour}" '
+                f'stroke-width="2"/>'
+            )
+        for x, y in points:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{colour}"/>'
+            )
+        legend_y = MARGIN_TOP + 14 * position
+        legend_x = WIDTH - MARGIN_RIGHT - 170  # room for backend:phase names
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 8}" width="10" height="10" '
+            f'fill="{colour}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}" fill="#333">{backend}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def render_markdown(
+    organised: Dict[str, Tuple[List[str], Dict[str, Dict[str, float]]]],
+    svg_names: Dict[str, str],
+) -> str:
+    """The per-experiment wall-time tables, linking each experiment's chart."""
+    lines = [
+        "# Benchmark wall-time trajectory",
+        "",
+        "Per-commit aggregates from `BENCH_trajectory.jsonl` "
+        "(appended by `check_bench_trend.py --archive`; commits in file "
+        "order, oldest first).  `*` marks each backend's fastest commit.",
+        "",
+    ]
+    for experiment in sorted(organised):
+        commits, series = organised[experiment]
+        backends = sorted(series)
+        lines.append(f"## {experiment}")
+        lines.append("")
+        if experiment in svg_names:
+            lines.append(f"![{experiment} trend]({svg_names[experiment]})")
+            lines.append("")
+        lines.append("| commit | " + " | ".join(backends) + " |")
+        lines.append("|---" * (len(backends) + 1) + "|")
+        fastest = {
+            backend: min(series[backend].values()) for backend in backends
+        }
+        for commit in commits:
+            cells = []
+            for backend in backends:
+                wall = series[backend].get(commit)
+                if wall is None:
+                    cells.append("--")
+                else:
+                    marker = " \\*" if wall == fastest[backend] else ""
+                    cells.append(f"{wall:.4f}s{marker}")
+            lines.append(f"| `{commit}` | " + " | ".join(cells) + " |")
+        # delta of the newest commit against the oldest with data, per backend
+        deltas = []
+        for backend in backends:
+            with_data = [c for c in commits if c in series[backend]]
+            if len(with_data) >= 2:
+                first, last = series[backend][with_data[0]], series[backend][with_data[-1]]
+                if first > 0:
+                    deltas.append(f"{backend} {last / first:.2f}x")
+        if deltas:
+            lines.append("")
+            lines.append(
+                "Newest vs oldest recorded commit: " + ", ".join(deltas) + "."
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trajectory", type=Path, default=Path("BENCH_trajectory.jsonl"),
+        help="trajectory file to render (default: BENCH_trajectory.jsonl)",
+    )
+    parser.add_argument(
+        "--output-dir", type=Path, default=Path("bench-report"),
+        help="directory the report is written into (default: bench-report)",
+    )
+    parser.add_argument(
+        "--experiments", nargs="*", default=None,
+        help="restrict the report to these experiments (default: all present)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.trajectory.exists():
+        print(f"{args.trajectory}: no trajectory file -- nothing to render")
+        return 0
+    organised = organise(load_trajectory(args.trajectory), args.experiments)
+    if not organised:
+        print(f"{args.trajectory}: no matching records -- nothing to render")
+        return 0
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    svg_names: Dict[str, str] = {}
+    for experiment, (commits, series) in sorted(organised.items()):
+        name = f"{experiment}.svg"
+        (args.output_dir / name).write_text(
+            render_svg(experiment, commits, series)
+        )
+        svg_names[experiment] = name
+    report = args.output_dir / "trajectory.md"
+    report.write_text(render_markdown(organised, svg_names))
+    print(
+        f"wrote {report} and {len(svg_names)} chart(s) covering "
+        f"{', '.join(sorted(organised))}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

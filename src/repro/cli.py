@@ -33,7 +33,7 @@ from repro.core.single_side import SingleSideSearchMatcher
 from repro.model.request import Request
 from repro.roadnet.generators import grid_network
 from repro.roadnet.grid_index import GridIndex
-from repro.roadnet.routing import ROUTING_BACKENDS, make_engine
+from repro.roadnet.routing import ROUTING_BACKENDS, TREE_PROVIDERS, make_engine
 from repro.service.api import build_system
 from repro.sim.engine import SimulationEngine
 from repro.sim.trips import ShanghaiLikeTripGenerator
@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for persisted compiled routing artifacts "
         "(restarts skip preprocessing)",
     )
+    demo.add_argument(
+        "--tree-provider", choices=TREE_PROVIDERS, default="auto",
+        help="how the ch backend computes full distance trees (auto picks "
+        "the fastest correct path; plane/phast force the CSR plane or the "
+        "hierarchy-native PHAST sweep for ablation)",
+    )
 
     simulate = subparsers.add_parser("simulate", help="run a workload simulation")
     simulate.add_argument("--vehicles", type=int, default=40, help="fleet size")
@@ -90,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(restarts skip preprocessing)",
     )
     simulate.add_argument(
+        "--tree-provider", choices=TREE_PROVIDERS, default="auto",
+        help="how the ch backend computes full distance trees (auto picks "
+        "the fastest correct path; plane/phast force the CSR plane or the "
+        "hierarchy-native PHAST sweep for ablation)",
+    )
+    simulate.add_argument(
         "--shards", type=int, default=1,
         help="fleet shards the batch dispatch pipeline partitions vehicles into",
     )
@@ -109,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--routing-cache", default=None, metavar="DIR",
         help="directory for persisted compiled routing artifacts "
         "(restarts skip preprocessing)",
+    )
+    compare.add_argument(
+        "--tree-provider", choices=TREE_PROVIDERS, default="auto",
+        help="how the ch backend computes full distance trees (auto picks "
+        "the fastest correct path; plane/phast force the CSR plane or the "
+        "hierarchy-native PHAST sweep for ablation)",
     )
     compare.add_argument(
         "--shards", type=int, default=1,
@@ -145,6 +163,7 @@ def _run_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
         routing=args.routing,
         routing_cache=args.routing_cache,
+        tree_provider=args.tree_provider,
     )
     rng = random.Random(args.seed)
     vertices = system.fleet.grid.network.vertices()
@@ -171,7 +190,13 @@ def _run_demo(args: argparse.Namespace) -> int:
 def _run_simulate(args: argparse.Namespace) -> int:
     network = grid_network(args.rows, args.columns, weight_jitter=0.25, seed=args.seed)
     grid = GridIndex(network, rows=8, columns=8)
-    fleet = Fleet(grid, make_engine(network, args.routing, cache_dir=args.routing_cache))
+    fleet = Fleet(
+        grid,
+        make_engine(
+            network, args.routing, cache_dir=args.routing_cache,
+            tree_provider=args.tree_provider,
+        ),
+    )
     rng = random.Random(args.seed)
     vertices = network.vertices()
     for index in range(args.vehicles):
@@ -179,7 +204,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
     config = SystemConfig(
         max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0,
         routing_backend=args.routing, routing_cache_dir=args.routing_cache,
-        match_shards=args.shards,
+        tree_provider=args.tree_provider, match_shards=args.shards,
     )
     matcher = {
         "single_side": SingleSideSearchMatcher,
@@ -203,7 +228,13 @@ def _run_compare(args: argparse.Namespace) -> int:
     for matcher_class in (NaiveKineticTreeMatcher, SingleSideSearchMatcher, DualSideSearchMatcher):
         network = grid_network(args.rows, args.columns, weight_jitter=0.25, seed=args.seed)
         grid = GridIndex(network, rows=8, columns=8)
-        fleet = Fleet(grid, make_engine(network, args.routing, cache_dir=args.routing_cache))
+        fleet = Fleet(
+            grid,
+            make_engine(
+                network, args.routing, cache_dir=args.routing_cache,
+                tree_provider=args.tree_provider,
+            ),
+        )
         rng = random.Random(args.seed)
         vertices = network.vertices()
         for index in range(args.vehicles):
@@ -211,7 +242,7 @@ def _run_compare(args: argparse.Namespace) -> int:
         config = SystemConfig(
             max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0,
             routing_backend=args.routing, routing_cache_dir=args.routing_cache,
-            match_shards=args.shards,
+            tree_provider=args.tree_provider, match_shards=args.shards,
         )
         matcher = matcher_class(fleet, config=config)
         dispatcher = Dispatcher(fleet, matcher, config)

@@ -54,6 +54,13 @@ class BatchStatistics:
     of the terms.  A prefetched tree counts exactly once however many
     requests consume it: the first consumer is covered by
     ``prefetched_trees``, every later one by ``shared_tree_hits``.
+
+    ``tree_provider`` names the engine mechanism the prefetch was billed
+    to ("plane" for CSR planes, "phast" for the hierarchy-native sweep,
+    "table" for precomputed rows, "dijkstra" for the per-source reference
+    path), so an E15-style ablation can attribute ``prefetch_seconds`` --
+    and the engine-side ``dijkstra_runs`` vs ``phast_sweeps`` split -- to
+    the provider that actually did the work.
     """
 
     #: number of requests in the batch
@@ -66,6 +73,8 @@ class BatchStatistics:
     prefetched_trees: int = 0
     #: wall time of the single ``prefetch_trees`` engine call
     prefetch_seconds: float = 0.0
+    #: name of the tree provider the prefetch work was billed to
+    tree_provider: str = "dijkstra"
 
     @property
     def shared_tree_hit_rate(self) -> float:
@@ -75,8 +84,13 @@ class BatchStatistics:
             return 0.0
         return self.shared_tree_hits / resolved
 
-    def as_dict(self) -> Dict[str, float]:
-        """Flat dictionary for reports and benchmark records."""
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for reports and benchmark records.
+
+        All values are floats except ``tree_provider``, the provider name
+        the prefetch was billed to -- consumers that can only carry
+        numbers (the service's float panel) filter on type.
+        """
         return {
             "requests": float(self.requests),
             "trees_computed": float(self.trees_computed),
@@ -84,6 +98,7 @@ class BatchStatistics:
             "shared_tree_hit_rate": self.shared_tree_hit_rate,
             "prefetched_trees": float(self.prefetched_trees),
             "prefetch_seconds": self.prefetch_seconds,
+            "tree_provider": self.tree_provider,
         }
 
 
@@ -180,7 +195,9 @@ class BatchContext:
         errors: Dict[int, Exception] = {}
         seconds: Dict[int, float] = {}
         shared_distances: Dict[Tuple[VertexId, VertexId], float] = {}
-        statistics = BatchStatistics(requests=len(requests))
+        statistics = BatchStatistics(
+            requests=len(requests), tree_provider=engine.tree_provider_name
+        )
 
         prefetch_share = 0.0
         unbilled_prefetches: set = set()

@@ -15,7 +15,11 @@ from typing import Optional
 
 from repro.core.pricing import LinearPriceModel
 from repro.errors import ConfigurationError
-from repro.roadnet.routing import DEFAULT_TABLE_MAX_VERTICES, ROUTING_BACKENDS
+from repro.roadnet.routing import (
+    DEFAULT_TABLE_MAX_VERTICES,
+    ROUTING_BACKENDS,
+    TREE_PROVIDERS,
+)
 
 __all__ = ["SystemConfig", "DEMO_SPEED_KMH"]
 
@@ -53,6 +57,14 @@ class SystemConfig:
         table_max_vertices: vertex cap of the "table" backend; beyond it the
             all-pairs matrix (n^2 doubles) is refused rather than silently
             swallowing gigabytes, with "ch" recommended instead.
+        tree_provider: how the "ch" backend computes full distance trees
+            ("auto", "plane" or "phast"; see
+            :data:`repro.roadnet.routing.TREE_PROVIDERS`).  "auto" picks the
+            fastest correct path for the runtime environment, "plane" forces
+            the CSR plane path and "phast" forces the hierarchy-native
+            downward sweep -- the ablation knob of experiment E15.  Only
+            "ch" has more than one tree path, so "phast" with any other
+            backend is a configuration error at engine-build time.
         routing_cache_dir: directory persisted compiled routing artifacts
             (CSR compiles, ALT tables, distance tables, CH hierarchies) are
             kept in, keyed by a content hash of the network, so service
@@ -72,6 +84,7 @@ class SystemConfig:
     price_model: LinearPriceModel = field(default_factory=LinearPriceModel)
     routing_backend: str = "dict"
     table_max_vertices: int = DEFAULT_TABLE_MAX_VERTICES
+    tree_provider: str = "auto"
     routing_cache_dir: Optional[str] = None
     match_shards: int = 1
 
@@ -103,6 +116,10 @@ class SystemConfig:
         if self.table_max_vertices < 1:
             raise ConfigurationError(
                 f"table_max_vertices must be >= 1, got {self.table_max_vertices}"
+            )
+        if self.tree_provider not in TREE_PROVIDERS:
+            raise ConfigurationError(
+                f"tree_provider must be one of {TREE_PROVIDERS}, got {self.tree_provider!r}"
             )
         if self.match_shards < 1:
             raise ConfigurationError(f"match_shards must be >= 1, got {self.match_shards}")

@@ -12,7 +12,11 @@ verification shares:
   eliminates the per-vehicle ``oracle.distance(request.start, ...)`` re-query
   the matchers used to issue.  The tree is whatever mapping the engine hands
   out: a plain dict (dict backend) or a zero-copy ndarray-row view (CSR /
-  table backends, possibly pooled batch-wide by a vectorised prefetch);
+  table / ch backends, possibly pooled batch-wide by a vectorised prefetch).
+  Which :class:`~repro.roadnet.routing.TreeProvider` computed the row --
+  SciPy plane, pure-Python Dijkstra, or the ch backend's PHAST sweep -- is
+  invisible here by design: every provider's rows are bit-identical, so the
+  context (and everything downstream of it) is provider-oblivious;
 * the combined admissible lower bound (grid cell bounds plus the engine's
   optional ALT landmark bounds).
 """

@@ -18,7 +18,10 @@ preprocessing twice.  This module provides the two pieces the engines need:
   ("csr", "alt", "table", "ch"), ``params`` captures build knobs that change
   the artifact's content (e.g. the ALT landmark count), and the fingerprint
   ties the file to the exact network it was compiled from, so a mutated
-  network can never be served stale arrays.
+  network can never be served stale arrays.  The "ch" payload carries both
+  halves of the hierarchy: the upward CSR the point queries climb and the
+  rank-permuted downward CSR (PHAST sweep order) the tree provider scans,
+  so a warm restart is tree-ready without re-deriving either.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed process never
 leaves a half-written artifact behind, and loads treat any unreadable or

@@ -9,10 +9,17 @@ Two formats are supported:
   archiving experiment inputs next to their outputs.
 
 Both round-trip exactly (weights are stored as ``repr`` of floats).
+
+Edge lists are transparently gzip-compressed when the path ends in ``.gz``
+(both on save and on load), which is how real-network extracts at the scale
+the CH backend targets stay checkable into a repository; and every parse
+error names the offending ``path:line`` so a broken multi-megabyte fixture
+points at its bad line instead of at a bare ``ValueError``.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
@@ -32,8 +39,41 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
+def _is_gzip_path(path: PathLike) -> bool:
+    """``True`` when the path names a gzip-compressed edge list."""
+    return Path(path).suffix == ".gz"
+
+
+def _read_text(path: PathLike) -> str:
+    """Read a text file, transparently decompressing ``.gz`` paths."""
+    if _is_gzip_path(path):
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return handle.read()
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _write_text(path: PathLike, text: str) -> None:
+    """Write a text file, transparently compressing ``.gz`` paths."""
+    if _is_gzip_path(path):
+        # Write through a fileobj with mtime=0 so the compressed bytes are a
+        # pure function of the content (no filename or timestamp in the gzip
+        # header) -- re-saving an unchanged network never dirties a
+        # checked-in fixture.
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(
+                filename="", fileobj=raw, mode="wb", mtime=0
+            ) as handle:
+                handle.write(text.encode("utf-8"))
+        return
+    Path(path).write_text(text, encoding="utf-8")
+
+
 def save_edge_list(network: RoadNetwork, path: PathLike) -> None:
-    """Write ``network`` as an edge list with an optional coordinate block."""
+    """Write ``network`` as an edge list with an optional coordinate block.
+
+    A path ending in ``.gz`` is gzip-compressed on the way out; the line
+    format is identical either way.
+    """
     lines: List[str] = []
     if network.has_coordinates():
         lines.append("#coords")
@@ -43,18 +83,22 @@ def save_edge_list(network: RoadNetwork, path: PathLike) -> None:
         lines.append("#edges")
     for edge in network.edges():
         lines.append(f"{edge.u} {edge.v} {edge.weight!r}")
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    _write_text(path, "\n".join(lines) + "\n")
 
 
 def load_edge_list(path: PathLike) -> RoadNetwork:
     """Read a network previously written by :func:`save_edge_list`.
 
+    A path ending in ``.gz`` is transparently decompressed.
+
     Raises:
-        InvalidNetworkError: on malformed lines.
+        InvalidNetworkError: on malformed lines, naming the offending
+            ``path:line`` -- wrong field count, non-numeric fields, and
+            semantic rejections (non-positive weights, self loops) alike.
     """
     network = RoadNetwork()
     mode = "edges"
-    for line_number, raw_line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+    for line_number, raw_line in enumerate(_read_text(path).splitlines(), 1):
         line = raw_line.strip()
         if not line:
             continue
@@ -67,16 +111,21 @@ def load_edge_list(path: PathLike) -> RoadNetwork:
         parts = line.split()
         if len(parts) != 3:
             raise InvalidNetworkError(f"{path}:{line_number}: expected 3 fields, got {len(parts)}")
-        if mode == "coords":
-            vertex, x, y = int(parts[0]), float(parts[1]), float(parts[2])
-            network.add_vertex(vertex, x=x, y=y)
-        else:
-            u, v, weight = int(parts[0]), int(parts[1]), float(parts[2])
-            if u not in network:
-                network.add_vertex(u)
-            if v not in network:
-                network.add_vertex(v)
-            network.add_edge(u, v, weight)
+        try:
+            if mode == "coords":
+                network.add_vertex(int(parts[0]), x=float(parts[1]), y=float(parts[2]))
+            else:
+                u, v, weight = int(parts[0]), int(parts[1]), float(parts[2])
+                if u not in network:
+                    network.add_vertex(u)
+                if v not in network:
+                    network.add_vertex(v)
+                network.add_edge(u, v, weight)
+        except ValueError as error:  # includes InvalidNetworkError rejections
+            kind = "coordinate" if mode == "coords" else "edge"
+            raise InvalidNetworkError(
+                f"{path}:{line_number}: bad {kind} line {line!r}: {error}"
+            ) from None
     return network
 
 

@@ -13,9 +13,13 @@ Website interface (Section 4.2)
       selected taxi (the red branches drawn on the demo's map);
     * :meth:`PTRiderService.statistics` -- the live panel (current time,
       average response time, average sharing rate, ...);
+    * :meth:`PTRiderService.routing_statistics` -- the routing-layer admin
+      panel: backend and tree provider in use, query/cache counters and the
+      build-vs-load seconds that show whether the compiled artifacts came
+      from the artifact cache (warm restart) or were built this session;
     * :meth:`PTRiderService.set_parameters` -- the admin form (taxi capacity,
       number of taxis, maximum waiting time, service constraint, price
-      calculator, matching algorithm, routing backend).
+      calculator, matching algorithm, routing backend, tree provider).
 
 Time advances through :meth:`PTRiderService.advance`, which delegates to the
 simulation engine: vehicles drive their schedules, pick-ups and drop-offs
@@ -45,7 +49,7 @@ from repro.model.request import Request
 from repro.roadnet.generators import grid_network
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.grid_index import GridIndex
-from repro.roadnet.routing import ROUTING_BACKENDS, make_engine
+from repro.roadnet.routing import ROUTING_BACKENDS, TREE_PROVIDERS, make_engine
 from repro.sim.engine import SimulationEngine
 from repro.sim.workload import RequestWorkload
 from repro.vehicles.fleet import Fleet
@@ -328,8 +332,54 @@ class PTRiderService:
         if batch_stats is not None:
             # How much routing work the most recent batch shared / prefetched
             # (the website's "simultaneous requests" panel).
-            panel.update({f"batch_{k}": v for k, v in batch_stats.as_dict().items()})
+            panel.update(
+                {
+                    f"batch_{k}": v
+                    for k, v in batch_stats.as_dict().items()
+                    if isinstance(v, float)  # the provider name is admin-only
+                }
+            )
+        panel.update(
+            {
+                f"routing_{key}": value
+                for key, value in self.routing_statistics().items()
+                if isinstance(value, float)
+            }
+        )
         return panel
+
+    def routing_statistics(self) -> Dict[str, object]:
+        """The routing-layer admin panel: who answers queries, at what cost.
+
+        Reports the active backend and tree provider, the engine's
+        query-side counters (queries, cache hits, Dijkstra runs, PHAST
+        sweeps, bidirectional CH searches) and the one-time preprocessing
+        attribution -- ``build_seconds`` when the compiled artifacts were
+        computed this session versus ``load_seconds`` when a warm restart
+        served them from the artifact cache, alongside the cache directory
+        so an operator can see at a glance whether restarts are warm.
+        Counter fields an engine does not track (e.g. the dict backend has
+        no PHAST sweeps) read 0.0.  All float-valued fields also appear in
+        :meth:`statistics` under a ``routing_`` prefix.
+        """
+        engine = self._fleet.routing_engine
+        stats = getattr(engine, "stats", None)
+        payload: Dict[str, object] = {
+            "backend": engine.backend,
+            "tree_provider": engine.tree_provider_name,
+            "artifact_cache_dir": self._config.routing_cache_dir or "",
+        }
+        for field_name in (
+            "queries",
+            "cache_hits",
+            "dijkstra_runs",
+            "phast_sweeps",
+            "bidirectional_runs",
+            "build_seconds",
+            "load_seconds",
+        ):
+            payload[field_name] = float(getattr(stats, field_name, 0) or 0)
+        return payload
 
     def set_parameters(
         self,
@@ -340,22 +390,23 @@ class PTRiderService:
         matcher_name: Optional[str] = None,
         routing_backend: Optional[str] = None,
         table_max_vertices: Optional[int] = None,
+        tree_provider: Optional[str] = None,
         match_shards: Optional[int] = None,
     ) -> SystemConfig:
         """The admin form: update global parameters and/or swap the matcher.
 
         Capacity changes apply to vehicles added afterwards (existing taxis
         keep their physical capacity, as they would in reality).  Changing
-        ``routing_backend`` rebuilds the routing engine (and therefore its
-        caches) on the same road network -- consulting the config's
-        ``routing_cache_dir`` so a previously compiled artifact is loaded
-        rather than rebuilt; the matcher and dispatcher are rebuilt on top
-        of it.  ``table_max_vertices`` adjusts the all-pairs table's vertex
-        cap (applied the next time a table engine is built).
-        ``match_shards`` controls how many fleet shards the batch dispatch
-        pipeline partitions vehicles into; any value yields the same options
-        (the per-shard skylines merge losslessly), so it is purely a
-        scale-out knob.
+        ``routing_backend`` or ``tree_provider`` rebuilds the routing engine
+        (and therefore its caches) on the same road network -- consulting
+        the config's ``routing_cache_dir`` so a previously compiled
+        artifact is loaded rather than rebuilt; the matcher and dispatcher
+        are rebuilt on top of it.  ``table_max_vertices`` adjusts the
+        all-pairs table's vertex cap (applied the next time a table engine
+        is built).  ``match_shards`` controls how many fleet shards the
+        batch dispatch pipeline partitions vehicles into; any value yields
+        the same options (the per-shard skylines merge losslessly), so it
+        is purely a scale-out knob.
         """
         changes: Dict[str, object] = {}
         if max_waiting is not None:
@@ -383,16 +434,41 @@ class PTRiderService:
                     f"unknown routing backend {routing_backend!r}; choose one of {ROUTING_BACKENDS}"
                 )
             changes["routing_backend"] = routing_backend
+        if tree_provider is not None:
+            if tree_provider not in TREE_PROVIDERS:
+                raise ConfigurationError(
+                    f"unknown tree provider {tree_provider!r}; choose one of {TREE_PROVIDERS}"
+                )
+            changes["tree_provider"] = tree_provider
+        if (
+            tree_provider is None
+            and routing_backend is not None
+            and routing_backend != "ch"
+            and self._config.tree_provider != "auto"
+        ):
+            # A forced provider is a ch-only ablation; a plain backend
+            # change away from ch must not be vetoed by it (make_engine
+            # rejects e.g. "phast" without a hierarchy), so the provider
+            # resets to "auto" unless the caller forces both at once.
+            changes["tree_provider"] = "auto"
         new_config = self._config.with_updates(**changes) if changes else self._config
-        if routing_backend is not None and routing_backend != self._fleet.routing_engine.backend:
+        rebuild_engine = (
+            routing_backend is not None
+            and routing_backend != self._fleet.routing_engine.backend
+        ) or (
+            tree_provider is not None and tree_provider != self._config.tree_provider
+        )
+        if rebuild_engine:
             # Build the engine *before* committing the new config: a refused
-            # build (e.g. "table" beyond table_max_vertices) must leave the
-            # service exactly as it was, not claiming a backend it never got.
+            # build (e.g. "table" beyond table_max_vertices, or "phast" on a
+            # backend without a hierarchy) must leave the service exactly as
+            # it was, not claiming a configuration it never got.
             engine = make_engine(
                 self._fleet.grid.network,
-                routing_backend,
+                new_config.routing_backend,
                 table_max_vertices=new_config.table_max_vertices,
                 cache_dir=new_config.routing_cache_dir,
+                tree_provider=new_config.tree_provider,
             )
             self._fleet.set_routing_engine(engine)
         self._config = new_config
@@ -424,6 +500,7 @@ def build_system(
     seed: Optional[int] = None,
     routing: Optional[str] = None,
     routing_cache: Optional[str] = None,
+    tree_provider: Optional[str] = None,
 ) -> PTRiderService:
     """Build a ready-to-use PTRider system.
 
@@ -440,6 +517,8 @@ def build_system(
             or "ch"); defaults to the config's ``routing_backend``.
         routing_cache: compiled-artifact cache directory override; defaults
             to the config's ``routing_cache_dir``.
+        tree_provider: tree-provider override ("auto", "plane" or "phast");
+            defaults to the config's ``tree_provider``.
 
     Returns:
         A :class:`PTRiderService` whose fleet is registered and idle.
@@ -452,11 +531,14 @@ def build_system(
         system_config = system_config.with_updates(routing_backend=routing)
     if routing_cache is not None and routing_cache != system_config.routing_cache_dir:
         system_config = system_config.with_updates(routing_cache_dir=routing_cache)
+    if tree_provider is not None and tree_provider != system_config.tree_provider:
+        system_config = system_config.with_updates(tree_provider=tree_provider)
     engine = make_engine(
         network,
         system_config.routing_backend,
         table_max_vertices=system_config.table_max_vertices,
         cache_dir=system_config.routing_cache_dir,
+        tree_provider=system_config.tree_provider,
     )
     grid = GridIndex(network, rows=grid_rows, columns=grid_columns)
     fleet = Fleet(grid, engine)

@@ -83,6 +83,21 @@ class TestBatchContext:
         assert flat["shared_tree_hit_rate"] == pytest.approx(0.25)
         assert flat["prefetched_trees"] == 0.0
         assert flat["prefetch_seconds"] == 0.0
+        assert flat["tree_provider"] == "dijkstra"
+
+    def test_statistics_record_the_prefetch_provider(self):
+        from repro.roadnet.generators import grid_network
+        from repro.roadnet.grid_index import GridIndex
+        from repro.roadnet.routing import make_engine
+        from repro.sim.workload import random_requests
+
+        network = grid_network(4, 4, weight_jitter=0.2, seed=3)
+        engine = make_engine(network, "csr")
+        grid = GridIndex(network, rows=3, columns=3)
+        requests = random_requests(network, 3, 6.0, 0.4, seed=5)
+        batch = BatchContext.create(requests, engine, grid)
+        assert batch.statistics.tree_provider == "plane"
+        assert batch.statistics.as_dict()["tree_provider"] == "plane"
 
     def test_prefetched_trees_count_in_the_hit_rate_denominator(self):
         stats = BatchStatistics(

@@ -34,10 +34,36 @@ def _sample(vertices, step_hint):
     return vertices[:: max(1, len(vertices) // step_hint)]
 
 
+def _jitters(max_value):
+    """Weight jitters inside the bit-identity contract.
+
+    The refolding guarantee holds on networks with *unique* shortest paths
+    (any genuinely jittered or real network) and on unjittered networks
+    (where path sums are exact in floats).  Jitter at machine-epsilon scale
+    is neither: it manufactures paths whose lengths differ by less than the
+    accumulated rounding of summing them, where no refolding order can
+    recover which path a Dijkstra's float comparison happened to prefer
+    (hypothesis found ``jitter=2.2e-16`` doing exactly that).
+
+    The floor is 0.05 rather than "just above epsilon" because the failure
+    mode is probabilistic, not a cliff: two distinct path sums collide to
+    within rounding with probability ~(rounding scale / jitter scale) per
+    sampled pair, so e.g. 1e-9 jitter flakes about once per ~1e4 pairs --
+    a seed lottery -- while at 0.05 the collision odds are ~1e-12.  The
+    uniform-small-jitter band is not lost coverage: it exercises the same
+    refold code as 0.05 with worse-conditioned ties, and cross-backend
+    agreement at *all* jitters (approximate, not bitwise) stays covered by
+    ``test_routing_equivalence.py``.
+    """
+    return st.one_of(
+        st.just(0.0), st.floats(min_value=0.05, max_value=max_value)
+    )
+
+
 @given(
     rows=st.integers(min_value=2, max_value=6),
     columns=st.integers(min_value=2, max_value=6),
-    jitter=st.floats(min_value=0.0, max_value=1.0),
+    jitter=_jitters(1.0),
     seed=st.integers(min_value=0, max_value=10_000),
 )
 @settings(max_examples=30, deadline=None)
@@ -54,7 +80,7 @@ def test_ch_distances_are_float_identical_to_csr_on_grids(rows, columns, jitter,
 @given(
     rows=st.integers(min_value=3, max_value=8),
     columns=st.integers(min_value=3, max_value=8),
-    jitter=st.floats(min_value=0.0, max_value=0.6),
+    jitter=_jitters(0.6),
     every=st.integers(min_value=2, max_value=4),
     seed=st.integers(min_value=0, max_value=10_000),
 )

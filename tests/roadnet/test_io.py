@@ -47,11 +47,68 @@ class TestEdgeList:
         with pytest.raises(InvalidNetworkError):
             load_edge_list(path)
 
+    def test_field_count_error_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2 1.0\n2 3 1.0 extra\n", encoding="utf-8")
+        with pytest.raises(InvalidNetworkError, match=rf"{path.name}:2: "):
+            load_edge_list(path)
+
+    def test_non_numeric_field_error_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2 1.0\n\n2 oops 2.0\n", encoding="utf-8")
+        with pytest.raises(InvalidNetworkError, match=rf"{path.name}:3: bad edge line"):
+            load_edge_list(path)
+
+    def test_non_numeric_coordinate_error_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("#coords\n1 0.0 north\n", encoding="utf-8")
+        with pytest.raises(InvalidNetworkError, match=rf"{path.name}:2: bad coordinate line"):
+            load_edge_list(path)
+
+    def test_semantic_rejection_names_the_line(self, tmp_path):
+        # weight validation happens in RoadNetwork.add_edge; the loader must
+        # still point at the offending line of the file
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2 1.0\n2 3 -4.0\n", encoding="utf-8")
+        with pytest.raises(InvalidNetworkError, match=rf"{path.name}:2: .*positive weight"):
+            load_edge_list(path)
+
     def test_blank_lines_ignored(self, tmp_path):
         path = tmp_path / "sparse.edges"
         path.write_text("\n1 2 1.0\n\n2 3 2.0\n", encoding="utf-8")
         loaded = load_edge_list(path)
         assert loaded.edge_count == 2
+
+    def test_gzip_round_trip_with_coordinates(self, tmp_path):
+        network = figure1_network()
+        path = tmp_path / "net.edges.gz"
+        save_edge_list(network, path)
+        import gzip
+
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # actually compressed
+        loaded = load_edge_list(path)
+        assert networks_equal(network, loaded)
+        assert loaded.coordinate(1).as_tuple() == network.coordinate(1).as_tuple()
+        # the compressed bytes match the plain format exactly
+        plain = tmp_path / "net.edges"
+        save_edge_list(network, plain)
+        assert gzip.decompress(path.read_bytes()) == plain.read_bytes()
+
+    def test_gzip_save_is_deterministic(self, tmp_path):
+        network = grid_network(3, 3, weight_jitter=0.2, seed=5)
+        first, second = tmp_path / "a.gz", tmp_path / "b.gz"
+        save_edge_list(network, first)
+        save_edge_list(network, second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_gzip_error_still_names_the_line(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "bad.edges.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("1 2 1.0\nbroken line here\n")
+        with pytest.raises(InvalidNetworkError, match=r"bad\.edges\.gz:2: "):
+            load_edge_list(path)
 
 
 class TestJson:

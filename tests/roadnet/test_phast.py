@@ -1,0 +1,320 @@
+"""Unit tests for the TreeProvider seam and the PHAST tree path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, DisconnectedError
+from repro.roadnet import routing
+from repro.roadnet.generators import grid_network
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.routing import (
+    PHAST_AUTO_MIN_VERTICES,
+    TREE_PROVIDERS,
+    ArtifactCache,
+    CHEngine,
+    CSREngine,
+    CSRGraph,
+    ContractionHierarchy,
+    PHASTTreeProvider,
+    PlaneTreeProvider,
+    make_engine,
+)
+
+HAVE_NUMPY = routing._np is not None  # noqa: SLF001
+
+
+def _rows_equal(a, b):
+    return [float(x) for x in a] == [float(x) for x in b]
+
+
+class TestTreeProviderSeam:
+    def test_plane_provider_delegates_to_the_graph(self):
+        graph = CSRGraph(grid_network(3, 4, weight_jitter=0.2, seed=1))
+        provider = PlaneTreeProvider(graph)
+        assert provider.name == "plane"
+        assert _rows_equal(provider.tree(0), graph.tree(0))
+        plane = provider.trees([0, 3, 5])
+        for position, index in enumerate([0, 3, 5]):
+            assert _rows_equal(plane[position], graph.tree(index))
+
+    def test_engines_report_their_provider(self):
+        network = grid_network(3, 3)
+        assert CSREngine(network).tree_provider_name == "plane"
+        assert make_engine(network, "table").tree_provider_name == "table"
+        assert make_engine(network, "dict").tree_provider_name == "dijkstra"
+        assert (
+            CHEngine(network, tree_provider="phast").tree_provider_name == "phast"
+        )
+
+    def test_make_engine_rejects_phast_off_the_ch_backend(self):
+        network = grid_network(3, 3)
+        for backend in ("dict", "csr", "csr+alt", "table"):
+            with pytest.raises(ConfigurationError, match="phast"):
+                make_engine(network, backend, tree_provider="phast")
+
+    def test_make_engine_rejects_unknown_provider(self):
+        with pytest.raises(ConfigurationError, match="tree provider"):
+            make_engine(grid_network(2, 2), "ch", tree_provider="quantum")
+        assert TREE_PROVIDERS == ("auto", "plane", "phast")
+
+    def test_make_engine_rejects_plane_where_it_is_not_the_path(self):
+        # an ablation that forces the plane path must not silently get
+        # oracle Dijkstras or table rows instead
+        network = grid_network(3, 3)
+        for backend in ("dict", "table"):
+            with pytest.raises(ConfigurationError, match="'plane'"):
+                make_engine(network, backend, tree_provider="plane")
+        # ... while the csr family's one path *is* the plane
+        assert make_engine(network, "csr", tree_provider="plane").tree_provider_name == "plane"
+        assert make_engine(network, "csr+alt", tree_provider="plane").backend == "csr+alt"
+
+    def test_ch_auto_stays_on_planes_below_the_threshold(self):
+        # 9 vertices is far below PHAST_AUTO_MIN_VERTICES, and SciPy (when
+        # installed) beats the sweep anyway: auto must resolve to "plane".
+        engine = CHEngine(grid_network(3, 3))
+        assert len(engine.graph) < PHAST_AUTO_MIN_VERTICES
+        assert engine.tree_provider_name == "plane"
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="the scenario is NumPy-only")
+    def test_ch_auto_goes_phast_in_numpy_only_environments(self, monkeypatch):
+        """NumPy importable, SciPy not: past the size threshold `auto` must
+        pick the vectorised sweep over per-source pure-Python Dijkstras --
+        the environment split is why routing.py imports them separately."""
+        network = grid_network(6, 6, weight_jitter=0.3, seed=3)
+        reference = CSREngine(network).distances_from(1)
+        expected = {v: reference[v] for v in reference}
+        monkeypatch.setattr(routing, "_csr_array", None)
+        monkeypatch.setattr(routing, "_csgraph_dijkstra", None)
+        engine = CHEngine(network, phast_min_vertices=len(network.vertices()))
+        assert engine.tree_provider_name == "phast"
+        tree = engine.distances_from(1)
+        assert {v: tree[v] for v in tree} == expected
+        # below the threshold the same environment stays on python planes
+        assert CHEngine(network).tree_provider_name == "plane"
+
+    def test_forced_plane_on_ch_is_the_inherited_path(self):
+        network = grid_network(4, 4, weight_jitter=0.25, seed=3)
+        forced = CHEngine(network, tree_provider="plane")
+        assert forced.tree_provider_name == "plane"
+        tree = forced.distances_from(3)
+        reference = CSREngine(network).distances_from(3)
+        assert {v: tree[v] for v in tree} == {v: reference[v] for v in reference}
+
+    def test_invalidate_rewires_the_provider(self):
+        network = grid_network(1, 3)
+        engine = CHEngine(network, tree_provider="phast")
+        before = engine.distance(1, 3)
+        network.add_vertex(4, x=0.5, y=1.0)
+        network.add_edge(1, 4, 0.1)
+        network.add_edge(4, 3, 0.1)
+        engine.invalidate()
+        assert engine.tree_provider_name == "phast"
+        assert engine.distances_from(1)[3] == pytest.approx(min(before, 0.2))
+
+
+class TestPHASTEdgeCases:
+    def test_single_vertex_network(self):
+        network = RoadNetwork()
+        network.add_vertex(42)
+        engine = CHEngine(network, tree_provider="phast")
+        tree = engine.distances_from(42)
+        assert dict(tree) == {42: 0.0}
+
+    def test_isolated_vertices_stay_unreachable(self):
+        network = grid_network(3, 3)
+        network.add_vertex(99)
+        engine = CHEngine(network, tree_provider="phast")
+        csr = CSREngine(network)
+        phast_tree = engine.distances_from(1)
+        csr_tree = csr.distances_from(1)
+        assert set(phast_tree) == set(csr_tree)
+        assert 99 not in phast_tree
+        with pytest.raises(KeyError):
+            phast_tree[99]
+        with pytest.raises(DisconnectedError):
+            engine.distance(1, 99)
+        # rooted at the isolated vertex: only itself is reachable
+        assert dict(engine.distances_from(99)) == {99: 0.0}
+
+    def test_disconnected_components_mirror_csr_inf_parity(self):
+        network = grid_network(2, 3, weight_jitter=0.2, seed=4)
+        offset = 100
+        for u, v, w in [(1, 2, 1.5), (2, 3, 0.7)]:
+            for vertex in (u + offset, v + offset):
+                if vertex not in network:
+                    network.add_vertex(vertex)
+            network.add_edge(u + offset, v + offset, w)
+        graph = CSRGraph(network)
+        provider = PHASTTreeProvider(graph, ContractionHierarchy.build(graph))
+        for index in range(len(graph)):
+            assert _rows_equal(provider.tree(index), graph.tree(index))
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="exercises the NumPy batch path")
+    def test_batch_larger_than_the_source_chunk(self, monkeypatch):
+        monkeypatch.setattr(routing, "PHAST_SOURCE_CHUNK", 4)
+        network = grid_network(5, 5, weight_jitter=0.3, seed=7)
+        graph = CSRGraph(network)
+        provider = PHASTTreeProvider(graph, ContractionHierarchy.build(graph))
+        indices = list(range(len(graph)))  # 25 sources -> 7 chunks
+        plane = provider.trees(indices)
+        for index in indices:
+            assert _rows_equal(plane[index], graph.tree(index))
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="exercises the bucket-cap guard")
+    def test_refold_bucket_cap_falls_back_to_python(self, monkeypatch):
+        network = grid_network(4, 4, weight_jitter=0.3, seed=9)
+        graph = CSRGraph(network)
+        provider = PHASTTreeProvider(graph, ContractionHierarchy.build(graph))
+        monkeypatch.setattr(PHASTTreeProvider, "REFOLD_BUCKET_CAP", 1)
+        plane = provider.trees(list(range(len(graph))))
+        for index in range(len(graph)):
+            assert _rows_equal(plane[index], graph.tree(index))
+
+    def test_pure_python_provider_without_numpy(self, monkeypatch):
+        network = grid_network(4, 4, weight_jitter=0.25, seed=11)
+        reference = CSRGraph(network)
+        reference.matrix = None  # the rows CSR would serve without SciPy
+        monkeypatch.setattr(routing, "_np", None)
+        monkeypatch.setattr(routing, "_csr_array", None)
+        monkeypatch.setattr(routing, "_csgraph_dijkstra", None)
+        engine = CHEngine(network, tree_provider="phast")
+        for source in (1, 7, 16):
+            tree = engine.distances_from(source)
+            row = reference.tree(reference.index(source))
+            assert {v: tree[v] for v in tree} == {
+                vertex: float(row[reference.index(vertex)])
+                for vertex in network.vertices()
+                if row[reference.index(vertex)] != float("inf")
+            }
+
+    def test_lru_cached_plane_row_superseded_by_phast_prefetch(self):
+        """A SciPy plane row already in the LRU survives a PHAST prefetch:
+        the prefetch returns the pinned row without recomputing it, bills
+        only the missing sources to ``phast_sweeps``, and the freshly swept
+        rows are bit-identical to the plane rows they sit next to."""
+        network = grid_network(5, 5, weight_jitter=0.3, seed=13)
+        engine = CHEngine(network, tree_provider="phast")
+        plane_row = engine.graph.tree(engine.graph.index(7))
+        engine._trees[engine.graph.index(7)] = plane_row  # noqa: SLF001
+        views = engine.prefetch_trees([7, 12, 19])
+        assert engine.stats.phast_sweeps == 2  # 7 was served from the LRU
+        assert engine.stats.dijkstra_runs == 0
+        csr = CSREngine(network)
+        for source in (7, 12, 19):
+            reference = csr.distances_from(source)
+            view = views[source]
+            assert {v: view[v] for v in view} == {v: reference[v] for v in reference}
+        # the cached row object itself was handed out, not recomputed
+        assert views[7]._dist is plane_row  # noqa: SLF001
+
+
+class TestDownwardArrays:
+    def test_levels_are_a_valid_sweep_schedule(self):
+        graph = CSRGraph(grid_network(5, 6, weight_jitter=0.3, seed=5))
+        hierarchy = ContractionHierarchy.build(graph)
+        position_of = {v: i for i, v in enumerate(hierarchy.down_heads)}
+        level_of = {}
+        ptr = hierarchy.down_level_ptr
+        for level in range(len(ptr) - 1):
+            for i in range(ptr[level], ptr[level + 1]):
+                level_of[hierarchy.down_heads[i]] = level
+        for i, head in enumerate(hierarchy.down_heads):
+            for k in range(hierarchy.down_indptr[i], hierarchy.down_indptr[i + 1]):
+                tail = hierarchy.down_tails[k]
+                # every in-edge's tail is finalised strictly earlier: either
+                # it is a hierarchy top (never a head) or in a lower level
+                assert tail not in position_of or level_of[tail] < level_of[head]
+                assert hierarchy.rank[tail] > hierarchy.rank[head]
+
+    def test_downward_arrays_round_trip_through_to_arrays(self):
+        graph = CSRGraph(grid_network(4, 5, weight_jitter=0.25, seed=3))
+        hierarchy = ContractionHierarchy.build(graph)
+        arrays = hierarchy.to_arrays()
+        for key in (
+            "down_heads",
+            "down_indptr",
+            "down_tails",
+            "down_weights",
+            "down_level_ptr",
+        ):
+            assert key in arrays
+        clone = ContractionHierarchy.from_arrays(
+            arrays["rank"],
+            arrays["up_indptr"],
+            arrays["up_indices"],
+            arrays["up_weights"],
+            arrays["up_mids"],
+            arrays["shortcut_count"],
+            down_heads=arrays["down_heads"],
+            down_indptr=arrays["down_indptr"],
+            down_tails=arrays["down_tails"],
+            down_weights=arrays["down_weights"],
+            down_level_ptr=arrays["down_level_ptr"],
+        )
+        assert clone.down_heads == hierarchy.down_heads
+        assert clone.down_indptr == hierarchy.down_indptr
+        assert clone.down_tails == hierarchy.down_tails
+        assert clone.down_weights == hierarchy.down_weights
+        assert clone.down_level_ptr == hierarchy.down_level_ptr
+
+    def test_from_arrays_without_downward_arrays_rederives_them(self):
+        graph = CSRGraph(grid_network(4, 4, weight_jitter=0.3, seed=7))
+        hierarchy = ContractionHierarchy.build(graph)
+        arrays = hierarchy.to_arrays()
+        clone = ContractionHierarchy.from_arrays(
+            arrays["rank"],
+            arrays["up_indptr"],
+            arrays["up_indices"],
+            arrays["up_weights"],
+            arrays["up_mids"],
+            arrays["shortcut_count"],
+        )
+        assert clone.down_heads == hierarchy.down_heads
+        assert clone.down_level_ptr == hierarchy.down_level_ptr
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="the artifact cache needs NumPy")
+    def test_artifact_cache_round_trip_preserves_phast_behaviour(self, tmp_path):
+        network = grid_network(5, 5, weight_jitter=0.3, seed=17)
+        built = CHEngine(
+            network, cache=ArtifactCache(tmp_path), tree_provider="phast"
+        )
+        loaded = CHEngine(
+            network, cache=ArtifactCache(tmp_path), tree_provider="phast"
+        )
+        assert loaded.stats.build_seconds == 0.0
+        assert loaded.stats.load_seconds > 0.0
+        assert loaded.hierarchy.down_heads == built.hierarchy.down_heads
+        for source in (1, 9, 21):
+            a = built.distances_from(source)
+            b = loaded.distances_from(source)
+            assert {v: a[v] for v in a} == {v: b[v] for v in b}
+
+
+class TestSciPyFreeTreePath:
+    def test_phast_trees_never_touch_the_plane_path(self, monkeypatch):
+        """The ch backend's tree path must survive SciPy being absent: with
+        the PHAST provider active, CSRGraph.tree/trees (the SciPy plane
+        seam) must never be consulted for a tree."""
+        network = grid_network(5, 5, weight_jitter=0.3, seed=19)
+        engine = CHEngine(network, tree_provider="phast")
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("tree request leaked to the plane path")
+
+        monkeypatch.setattr(CSRGraph, "tree", forbidden)
+        monkeypatch.setattr(CSRGraph, "trees", forbidden)
+        tree = engine.distances_from(3)
+        views = engine.prefetch_trees([4, 8, 15])
+        assert len(tree) == 25 and set(views) == {4, 8, 15}
+
+    def test_engine_builds_and_serves_without_scipy(self, monkeypatch):
+        network = grid_network(4, 4, weight_jitter=0.2, seed=21)
+        reference = CHEngine(network).distances_from(1)
+        expected = {v: reference[v] for v in reference}
+        monkeypatch.setattr(routing, "_csr_array", None)
+        monkeypatch.setattr(routing, "_csgraph_dijkstra", None)
+        engine = CHEngine(network, tree_provider="phast")
+        assert engine.graph.matrix is None
+        tree = engine.distances_from(1)
+        assert {v: tree[v] for v in tree} == expected

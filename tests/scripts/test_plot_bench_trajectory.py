@@ -1,0 +1,104 @@
+"""Unit tests for the trajectory report script."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "plot_bench_trajectory.py"
+_spec = importlib.util.spec_from_file_location("plot_bench_trajectory", _SCRIPT)
+plot = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("plot_bench_trajectory", plot)
+_spec.loader.exec_module(plot)
+
+
+def _write_trajectory(path: Path, rows) -> None:
+    path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+
+
+ROWS = [
+    {"commit": "aaa", "experiment": "E2", "routing_backend": "csr", "wall_seconds": 0.5},
+    {"commit": "aaa", "experiment": "E2", "routing_backend": "dict", "wall_seconds": 0.9},
+    {"commit": "bbb", "experiment": "E2", "routing_backend": "csr", "wall_seconds": 0.4},
+    {"commit": "bbb", "experiment": "E2", "routing_backend": "dict", "wall_seconds": 1.0},
+    {"commit": "bbb", "experiment": "E15", "routing_backend": "ch", "wall_seconds": 0.2},
+]
+
+
+class TestOrganise:
+    def test_groups_by_experiment_preserving_commit_order(self):
+        organised = plot.organise(ROWS)
+        commits, series = organised["E2"]
+        assert commits == ["aaa", "bbb"]
+        assert series["csr"] == {"aaa": 0.5, "bbb": 0.4}
+        assert set(organised) == {"E2", "E15"}
+
+    def test_experiment_filter(self):
+        organised = plot.organise(ROWS, ["E15"])
+        assert set(organised) == {"E15"}
+
+    def test_phased_rows_become_their_own_series(self):
+        rows = ROWS + [
+            {"commit": "bbb", "experiment": "E14", "routing_backend": "ch",
+             "wall_seconds": 0.04, "phase": "point_queries"},
+            {"commit": "bbb", "experiment": "E14", "routing_backend": "ch",
+             "wall_seconds": 1.4, "phase": "dispatch"},
+        ]
+        _, series = plot.organise(rows)["E14"]
+        assert set(series) == {"ch:point_queries", "ch:dispatch"}
+        assert series["ch:point_queries"]["bbb"] == 0.04
+
+    def test_rerun_of_same_commit_supersedes(self):
+        rows = ROWS + [
+            {"commit": "aaa", "experiment": "E2", "routing_backend": "csr", "wall_seconds": 0.45}
+        ]
+        _, series = plot.organise(rows)["E2"]
+        assert series["csr"]["aaa"] == 0.45
+
+    def test_malformed_rows_are_skipped(self):
+        rows = [{"experiment": "E2"}, {"commit": "x"}, {"commit": "x", "experiment": "E2", "wall_seconds": "fast"}]
+        assert plot.organise(rows) == {}
+
+
+class TestRendering:
+    def test_end_to_end_writes_markdown_and_svg(self, tmp_path, capsys):
+        trajectory = tmp_path / "BENCH_trajectory.jsonl"
+        _write_trajectory(trajectory, ROWS)
+        out = tmp_path / "report"
+        assert plot.main(["--trajectory", str(trajectory), "--output-dir", str(out)]) == 0
+        report = (out / "trajectory.md").read_text()
+        assert "## E2" in report and "## E15" in report
+        assert "`bbb`" in report
+        assert "0.4000s" in report
+        # per-backend trend line against the first commit
+        assert "csr 0.80x" in report
+        for name in ("E2.svg", "E15.svg"):
+            svg = (out / name).read_text()
+            assert svg.startswith("<svg") or "<svg" in svg
+            assert "polyline" in svg or "circle" in svg
+
+    def test_svg_is_deterministic(self):
+        organised = plot.organise(ROWS)
+        commits, series = organised["E2"]
+        assert plot.render_svg("E2", commits, series) == plot.render_svg(
+            "E2", commits, series
+        )
+
+    def test_missing_trajectory_is_a_noop(self, tmp_path, capsys):
+        assert (
+            plot.main(
+                ["--trajectory", str(tmp_path / "absent.jsonl"), "--output-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        assert "nothing to render" in capsys.readouterr().out
+
+    def test_corrupt_line_fails_loudly(self, tmp_path):
+        trajectory = tmp_path / "bad.jsonl"
+        trajectory.write_text('{"commit": "x"}\nnot json\n')
+        with pytest.raises(SystemExit, match="bad.jsonl:2"):
+            plot.load_trajectory(trajectory)

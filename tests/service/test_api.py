@@ -175,6 +175,76 @@ class TestWebsiteInterface:
             (o.vehicle_id, round(o.pickup_distance, 6), round(o.price, 6)) for o in after.options
         ]
 
+    def test_set_parameters_switches_tree_provider(self, paper_service):
+        before = paper_service.book(start=12, destination=17, riders=2)
+        paper_service.set_parameters(routing_backend="ch")
+        config = paper_service.set_parameters(tree_provider="phast")
+        assert config.tree_provider == "phast"
+        assert paper_service.fleet.routing_engine.tree_provider_name == "phast"
+        after = paper_service.book(start=12, destination=17, riders=2)
+        assert [
+            (o.vehicle_id, round(o.pickup_distance, 6), round(o.price, 6)) for o in before.options
+        ] == [
+            (o.vehicle_id, round(o.pickup_distance, 6), round(o.price, 6)) for o in after.options
+        ]
+
+    def test_set_parameters_rejects_unknown_tree_provider(self, paper_service):
+        with pytest.raises(ConfigurationError):
+            paper_service.set_parameters(tree_provider="quantum")
+
+    def test_backend_change_away_from_ch_resets_forced_provider(self, paper_service):
+        # a forced provider is a ch-only ablation; a plain backend change
+        # must not be vetoed by it
+        paper_service.set_parameters(routing_backend="ch", tree_provider="phast")
+        config = paper_service.set_parameters(routing_backend="csr")
+        assert config.routing_backend == "csr"
+        assert config.tree_provider == "auto"
+        assert paper_service.fleet.routing_engine.backend == "csr"
+
+    def test_set_parameters_phast_needs_ch(self, paper_service):
+        # the dict-backed paper service has no hierarchy to sweep; the
+        # refusal must leave config and engine untouched
+        before_provider = paper_service.config.tree_provider
+        with pytest.raises(ConfigurationError):
+            paper_service.set_parameters(tree_provider="phast")
+        assert paper_service.config.tree_provider == before_provider
+
+    def test_routing_statistics_panel(self, paper_service):
+        paper_service.book(start=12, destination=17, riders=2)
+        panel = paper_service.routing_statistics()
+        assert panel["backend"] == "dict"
+        assert panel["tree_provider"] == "dijkstra"
+        assert panel["artifact_cache_dir"] == ""
+        assert panel["queries"] >= 1.0
+        for key in ("cache_hits", "dijkstra_runs", "phast_sweeps",
+                    "bidirectional_runs", "build_seconds", "load_seconds"):
+            assert isinstance(panel[key], float)
+        # float-valued fields surface in the main panel under routing_
+        stats = paper_service.statistics()
+        assert stats["routing_queries"] == panel["queries"]
+        assert "routing_backend" not in stats  # strings stay admin-only
+
+    def test_routing_statistics_reports_artifact_cache_activity(self, tmp_path):
+        pytest.importorskip("numpy", reason="the artifact cache serialises through NumPy")
+        config = SystemConfig(
+            routing_backend="ch", routing_cache_dir=str(tmp_path), tree_provider="phast"
+        )
+        cold = build_system(network_rows=5, network_columns=5, vehicles=3,
+                            config=config, seed=4)
+        cold_panel = cold.routing_statistics()
+        assert cold_panel["backend"] == "ch"
+        assert cold_panel["tree_provider"] == "phast"
+        assert cold_panel["artifact_cache_dir"] == str(tmp_path)
+        assert cold_panel["build_seconds"] > 0.0
+        assert cold_panel["load_seconds"] == 0.0
+        warm = build_system(network_rows=5, network_columns=5, vehicles=3,
+                            config=config, seed=4)
+        warm_panel = warm.routing_statistics()
+        assert warm_panel["build_seconds"] == 0.0
+        assert warm_panel["load_seconds"] > 0.0
+        warm.book(1, 20, riders=1)
+        assert warm.routing_statistics()["phast_sweeps"] >= 1.0
+
     def test_set_parameters_table_max_vertices(self, paper_service):
         config = paper_service.set_parameters(table_max_vertices=8)
         assert config.table_max_vertices == 8

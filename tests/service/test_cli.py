@@ -57,6 +57,17 @@ class TestParser:
         assert args.routing == "ch"
         assert args.routing_cache == "/tmp/artifacts"
 
+    def test_tree_provider_argument(self):
+        for command in ("demo", "simulate", "compare"):
+            args = build_parser().parse_args([command])
+            assert args.tree_provider == "auto"
+            args = build_parser().parse_args(
+                [command, "--routing", "ch", "--tree-provider", "phast"]
+            )
+            assert args.tree_provider == "phast"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--tree-provider", "bogus"])
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -96,3 +107,31 @@ class TestCommands:
         assert exit_code == 0
         assert "routing=csr" in captured
         assert "average_response_time" in captured
+
+    def test_demo_runs_with_forced_phast_trees(self, capsys):
+        exit_code = main([
+            "demo", "--vehicles", "8", "--rows", "6", "--columns", "6",
+            "--seed", "3", "--routing", "ch", "--tree-provider", "phast",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "non-dominated option" in captured
+
+    def test_compare_is_provider_oblivious(self, capsys):
+        """The same burst answered with plane and phast ch trees must print
+        identical matcher work tables (the ablation the E15 benchmark runs
+        at scale) -- identical up to the wall-clock column, which is the
+        only thing a tree provider is allowed to change."""
+        import re
+
+        outputs = []
+        for provider in ("plane", "phast"):
+            exit_code = main([
+                "compare", "--vehicles", "10", "--rows", "6", "--columns", "6",
+                "--requests", "5", "--seed", "3", "--routing", "ch",
+                "--tree-provider", provider,
+            ])
+            assert exit_code == 0
+            # the seconds column is the only float printed with 3 decimals
+            outputs.append(re.sub(r"\d+\.\d{3}", "T", capsys.readouterr().out))
+        assert outputs[0] == outputs[1]
