@@ -1,0 +1,139 @@
+"""E16 -- parallel shard dispatch: the worker pool versus in-process batching.
+
+The batched pipeline (E12) already shards the fleet and merges per-shard
+skylines by dominance; this experiment measures the next rung: fanning the
+per-shard collect/verify stage out to a pool of worker processes
+(:class:`~repro.core.parallel.ParallelDispatchPool`).  The engine's immutable
+arrays (CSR adjacency, contraction-hierarchy planes, the batch's prefetched
+tree plane) are published once into POSIX shared memory and re-wrapped
+zero-copy by every worker, so the only per-turn traffic is pickled request
+batches out and skyline options back; merge and greedy commit stay on the
+parent, which keeps the outcomes byte-identical to the sequential loop at
+every worker count.
+
+Byte-identity is asserted unconditionally for every (backend, workers)
+combination.  The wall-clock speedup assertion is gated on the runner
+actually having cores to parallelise across (``os.cpu_count() >= 4``): on a
+single-core CI container the pool still works -- that is the identity leg --
+but four workers time-slicing one core cannot beat one process, and a
+speedup assert there would only measure the scheduler.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.dispatcher import OptionPolicy
+from repro.core.parallel import parallel_available
+
+from common import HAVE_SCIPY, record_result
+from bench_e12_batch_dispatch import _build_dispatcher, _burst, _outcome_key
+
+#: Worker counts of the sweep; 1 is the in-process baseline the speedup
+#: (and byte-identity) is measured against.
+WORKER_COUNTS = (1, 2, 4)
+#: Shards the fleet is partitioned into; four shards give a four-worker pool
+#: one shard each, and smaller pools own several shards round-robin.
+SHARDS = 4
+#: Backends whose immutable arrays the pool publishes into shared memory.
+BACKENDS = ("csr", "ch", "table")
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(),
+    reason="parallel dispatch needs numpy + POSIX shared memory + spawn",
+)
+
+
+def _run_batched(routing: str, workers: int, requests):
+    """One batched measurement; returns (outcome keys, wall, batch stats)."""
+    dispatcher = _build_dispatcher(routing=routing)
+    started = time.perf_counter()
+    try:
+        outcomes = dispatcher.dispatch_batch(
+            requests, policy=OptionPolicy.CHEAPEST, shards=SHARDS, workers=workers
+        )
+    finally:
+        dispatcher.close()
+    wall = time.perf_counter() - started
+    return [_outcome_key(o) for o in outcomes], wall, dispatcher.last_batch_statistics
+
+
+@pytest.mark.parametrize("routing", BACKENDS)
+def test_e16_parallel_dispatch_is_byte_identical(routing):
+    """Every worker count returns exactly the sequential loop's outcomes."""
+    if routing in ("csr", "table") and not HAVE_SCIPY:
+        pytest.skip("the csr/table backends need scipy")
+    sequential = _build_dispatcher(routing=routing)
+    requests = _burst(sequential)
+    started = time.perf_counter()
+    loop_outcomes = sequential.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
+    sequential_seconds = time.perf_counter() - started
+    loop_keys = [_outcome_key(o) for o in loop_outcomes]
+
+    walls = {}
+    for workers in WORKER_COUNTS:
+        keys, wall, stats = _run_batched(routing, workers, requests)
+        # The pool only redistributes the collect stage; a single float of
+        # drift in any skyline, choice or commit order is a bug.
+        assert keys == loop_keys, f"workers={workers} diverged from sequential"
+        assert stats is not None
+        expected_pool = workers if workers > 1 else 0
+        assert stats.parallel_workers == expected_pool
+        walls[workers] = wall
+        record_result(
+            "E16",
+            wall,
+            routing_backend=routing,
+            matcher="single_side",
+            shards=SHARDS,
+            workers=workers,
+            requests=len(requests),
+            parallel_workers=stats.parallel_workers,
+            ipc_seconds=round(stats.ipc_seconds, 6),
+            sequential_seconds=round(sequential_seconds, 6),
+            speedup_vs_workers1=(
+                round(walls[1] / wall, 2) if workers != 1 and wall > 0 else None
+            ),
+        )
+
+    # The speedup bar only binds where there are cores to parallelise
+    # across; on a 1-core container four workers time-slice one CPU and the
+    # measurement is of the scheduler, not of the pool.  Byte-identity above
+    # ran either way.
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        speedup = walls[1] / walls[4]
+        assert speedup >= 1.8, (
+            f"four workers ({walls[4]:.3f}s) should be >=1.8x faster than the "
+            f"in-process batch ({walls[1]:.3f}s) on a {cores}-core runner; "
+            f"got {speedup:.2f}x"
+        )
+
+
+def test_e16_summary_table(capsys):
+    """Print the worker sweep on the csr backend (run with -s to see it)."""
+    from common import format_table
+
+    if not HAVE_SCIPY:
+        pytest.skip("the csr backend needs scipy")
+    sequential = _build_dispatcher(routing="csr")
+    requests = _burst(sequential)
+    rows = []
+    baseline = None
+    for workers in WORKER_COUNTS:
+        _, wall, stats = _run_batched("csr", workers, requests)
+        if baseline is None:
+            baseline = wall
+        rows.append(
+            (
+                workers,
+                f"{wall * 1000:.1f}",
+                f"{baseline / wall:.2f}x",
+                f"{stats.ipc_seconds * 1000:.1f}",
+            )
+        )
+    table = format_table(("workers", "batched [ms]", "vs workers=1", "ipc [ms]"), rows)
+    print("\nE16 -- parallel shard dispatch (csr backend, 4 shards)\n" + table)

@@ -9,15 +9,19 @@ experiment's best wall time regressed by more than the threshold
 (default 25%), so a PR that slows the hot path fails its workflow instead of
 silently shipping.
 
-Per ``(experiment, routing backend, phase, tree provider)`` an aggregate of
-the wall times on each side is compared -- the records of one experiment mix
-entry kinds (whole-simulation runs, routing-layer probes) and repetitions;
-separating backends keeps a regression in one backend from hiding behind a
-faster record of another, and separating phases and tree providers (records
-without the field form their own unnamed group for that dimension) keeps
-e.g. a point-query regression from hiding behind a faster artifact-cache
-disk read, or a PHAST-plane regression behind the faster SciPy plane, in
-the same experiment.  ``--skip-phases`` drops named phases from the *comparison*
+Per ``(experiment, routing backend, phase, tree provider, workers)`` an
+aggregate of the wall times on each side is compared -- the records of one
+experiment mix entry kinds (whole-simulation runs, routing-layer probes) and
+repetitions; separating backends keeps a regression in one backend from
+hiding behind a faster record of another, and separating phases, tree
+providers and worker counts (records without the field form their own
+unnamed group for that dimension) keeps e.g. a point-query regression from
+hiding behind a faster artifact-cache disk read, a PHAST-plane regression
+behind the faster SciPy plane, or an in-process dispatch regression behind
+a faster multi-worker run, in the same experiment.  Records at ``workers``
+absent *or 1* share the unnamed group: one worker means the pool was
+bypassed and the measurement is the same in-process pipeline the historical
+records timed, so the committed baseline stays comparable.  ``--skip-phases`` drops named phases from the *comparison*
 (never from archiving) for measurements too noise-dominated to gate on,
 such as warm-restart disk reads.  Two aggregates are offered:
 
@@ -104,18 +108,27 @@ def aggregate_wall_seconds(
         if phase in skipped:
             continue
         provider = str(record.get("tree_provider") or "")
-        key = (experiment, record.get("routing_backend", "dict"), phase, provider)
+        workers = record.get("workers")
+        # workers absent or 1 → the in-process pipeline → the historical
+        # unnamed group; only real pool runs form their own aggregates.
+        workers_group = "" if workers in (None, "", 0, 1) else str(workers)
+        key = (
+            experiment, record.get("routing_backend", "dict"), phase, provider,
+            workers_group,
+        )
         walls.setdefault(key, []).append(float(wall))
     reduce = min if aggregate == "min" else statistics.median
     return {key: reduce(values) for key, values in walls.items()}
 
 
 def describe(key: tuple) -> str:
-    """Human label of an aggregate key: ``E15 [ch:tree_planes@phast]``."""
-    experiment, backend, phase, provider = key
+    """Human label of an aggregate key: ``E16 [csr w4]``, ``E15 [ch:planes@phast]``."""
+    experiment, backend, phase, provider, workers = key
     suffix = f":{phase}" if phase else ""
     if provider:
         suffix += f"@{provider}"
+    if workers:
+        suffix += f" w{workers}"
     return f"{experiment} [{backend}{suffix}]"
 
 
@@ -144,7 +157,9 @@ def archive_records(
     walls = aggregate_wall_seconds(records, experiments, aggregate)
     trajectory.parent.mkdir(parents=True, exist_ok=True)
     with trajectory.open("a") as handle:
-        for (experiment, backend, phase, provider), wall in sorted(walls.items()):
+        for (experiment, backend, phase, provider, workers), wall in sorted(
+            walls.items()
+        ):
             row = {
                 "commit": commit,
                 "experiment": experiment,
@@ -156,6 +171,8 @@ def archive_records(
                 row["phase"] = phase
             if provider:
                 row["tree_provider"] = provider
+            if workers:
+                row["workers"] = int(workers)
             handle.write(json.dumps(row, sort_keys=True) + "\n")
     return len(walls)
 

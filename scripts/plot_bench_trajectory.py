@@ -72,10 +72,10 @@ def organise(
 
     Returns ``{experiment: (commits_in_order, {series: {commit: wall}})}``
     where a series is the routing backend, suffixed ``:phase`` and/or
-    ``@tree_provider`` for rows that carry those fields (each ablation arm
-    charts as its own line).  A commit appearing multiple times for the
-    same series keeps its latest value (a re-run of the same commit
-    supersedes).
+    ``@tree_provider`` and/or `` wN`` (dispatch workers) for rows that carry
+    those fields (each ablation arm charts as its own line).  A commit
+    appearing multiple times for the same series keeps its latest value (a
+    re-run of the same commit supersedes).
     """
     result: Dict[str, Tuple[List[str], Dict[str, Dict[str, float]]]] = {}
     wanted = set(experiments) if experiments else None
@@ -89,6 +89,9 @@ def organise(
         provider = row.get("tree_provider")
         if isinstance(provider, str) and provider:
             backend = f"{backend}@{provider}"
+        workers = row.get("workers")
+        if isinstance(workers, int) and workers > 1:
+            backend = f"{backend} w{workers}"
         wall = row.get("wall_seconds")
         if not isinstance(experiment, str) or not isinstance(commit, str):
             continue

@@ -105,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="fleet shards the batch dispatch pipeline partitions vehicles into",
     )
+    simulate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes the batch dispatch pipeline fans the per-shard "
+        "collect/verify stage out to (shared-memory pool; 1 keeps everything "
+        "in-process, results are byte-identical either way)",
+    )
 
     compare = subparsers.add_parser("compare", help="compare matcher work on one request burst")
     compare.add_argument("--vehicles", type=int, default=60, help="fleet size")
@@ -131,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--shards", type=int, default=1,
         help="fleet shards the batch dispatch pipeline partitions vehicles into",
+    )
+    compare.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes the batch dispatch pipeline fans the per-shard "
+        "collect/verify stage out to (shared-memory pool; 1 keeps everything "
+        "in-process, results are byte-identical either way)",
     )
     compare.add_argument(
         "--batch", action=argparse.BooleanOptionalAction, default=True,
@@ -205,6 +217,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
         max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0,
         routing_backend=args.routing, routing_cache_dir=args.routing_cache,
         tree_provider=args.tree_provider, match_shards=args.shards,
+        dispatch_workers=args.workers,
     )
     matcher = {
         "single_side": SingleSideSearchMatcher,
@@ -216,8 +229,14 @@ def _run_simulate(args: argparse.Namespace) -> int:
     trips = generator.generate(args.trips, day_seconds=args.duration)
     workload = RequestWorkload.from_trips(trips, config.max_waiting, config.service_constraint)
     engine = SimulationEngine(dispatcher, workload, speed=1.0, tick=1.0, seed=args.seed)
-    report = engine.run(until=args.duration + 50.0)
-    print(f"Matcher: {matcher.name} (routing={args.routing}, shards={args.shards})")
+    try:
+        report = engine.run(until=args.duration + 50.0)
+    finally:
+        dispatcher.close()
+    print(
+        f"Matcher: {matcher.name} (routing={args.routing}, shards={args.shards}, "
+        f"workers={args.workers})"
+    )
     for key, value in sorted(report.panel().items()):
         print(f"  {key:>25}: {value:.4f}")
     return 0
@@ -243,6 +262,7 @@ def _run_compare(args: argparse.Namespace) -> int:
             max_waiting=6.0, service_constraint=0.4, max_pickup_distance=12.0,
             routing_backend=args.routing, routing_cache_dir=args.routing_cache,
             tree_provider=args.tree_provider, match_shards=args.shards,
+            dispatch_workers=args.workers,
         )
         matcher = matcher_class(fleet, config=config)
         dispatcher = Dispatcher(fleet, matcher, config)
@@ -254,12 +274,15 @@ def _run_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         started = time.perf_counter()
-        if args.batch:
-            dispatcher.dispatch_batch(
-                requests, policy=OptionPolicy.CHEAPEST, prefetch=args.prefetch
-            )
-        else:
-            dispatcher.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
+        try:
+            if args.batch:
+                dispatcher.dispatch_batch(
+                    requests, policy=OptionPolicy.CHEAPEST, prefetch=args.prefetch
+                )
+            else:
+                dispatcher.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
+        finally:
+            dispatcher.close()
         elapsed = time.perf_counter() - started
         stats = matcher.statistics.as_dict()
         batch_stats = dispatcher.last_batch_statistics
@@ -267,7 +290,10 @@ def _run_compare(args: argparse.Namespace) -> int:
         prefetched = batch_stats.prefetched_trees if batch_stats is not None else 0
         results.append((matcher.name, elapsed, stats, hit_rate, prefetched))
     if args.batch:
-        mode = f"batched pipeline, {args.shards} shard(s), prefetch {'on' if args.prefetch else 'off'}"
+        mode = (
+            f"batched pipeline, {args.shards} shard(s), {args.workers} worker(s), "
+            f"prefetch {'on' if args.prefetch else 'off'}"
+        )
     else:
         mode = "sequential loop"
     print(f"Dispatch: {mode}")

@@ -73,6 +73,12 @@ class SystemConfig:
             partitions vehicles into (by grid cell); per-shard skylines are
             merged by dominance, so any value yields the same options.  ``1``
             disables sharding.
+        dispatch_workers: worker processes the batch dispatch pipeline may
+            fan the per-shard collect/verify stage out to (see
+            :mod:`repro.core.parallel`).  Workers attach the engine's
+            immutable arrays through shared memory, so results stay
+            byte-identical to the sequential path at any value.  ``1``
+            keeps everything in-process.
     """
 
     vehicle_capacity: int = 4
@@ -87,6 +93,7 @@ class SystemConfig:
     tree_provider: str = "auto"
     routing_cache_dir: Optional[str] = None
     match_shards: int = 1
+    dispatch_workers: int = 1
 
     _VALID_MATCHERS = ("single_side", "dual_side", "naive")
 
@@ -123,6 +130,10 @@ class SystemConfig:
             )
         if self.match_shards < 1:
             raise ConfigurationError(f"match_shards must be >= 1, got {self.match_shards}")
+        if self.dispatch_workers < 1:
+            raise ConfigurationError(
+                f"dispatch_workers must be >= 1, got {self.dispatch_workers}"
+            )
 
     def with_updates(self, **changes: object) -> "SystemConfig":
         """Return a copy with the given fields replaced (admin panel edits)."""

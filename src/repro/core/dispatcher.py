@@ -49,6 +49,7 @@ from repro.core.batch import BatchContext, BatchStatistics
 from repro.core.config import SystemConfig
 from repro.core.insertion import feasible_schedules_for_commit
 from repro.core.matcher import Matcher
+from repro.core.parallel import ParallelDispatchPool
 from repro.errors import MatchingError, NoMatchError, UnknownOptionError
 from repro.model.options import RideOption, Skyline
 from repro.model.request import Request
@@ -138,6 +139,11 @@ class Dispatcher:
         self._active_requests: Dict[str, str] = {}
         #: shared-tree statistics of the most recent batch call (CLI / benchmarks)
         self.last_batch_statistics: Optional[BatchStatistics] = None
+        #: lazy shared-memory worker pool for parallel shard execution
+        self._pool: Optional[ParallelDispatchPool] = None
+        #: (engine id, workers, matcher) combination that failed to start --
+        #: remembered so every batch does not re-pay a doomed spawn attempt
+        self._pool_disabled_token: Optional[Tuple[int, int, str]] = None
 
     @property
     def fleet(self) -> Fleet:
@@ -313,6 +319,7 @@ class Dispatcher:
         shards: Optional[int] = None,
         on_outcome: Optional[Callable[[DispatchOutcome], None]] = None,
         prefetch: bool = True,
+        workers: Optional[int] = None,
     ) -> List[DispatchOutcome]:
         """Greedy handling of simultaneous requests as a staged pipeline.
 
@@ -343,50 +350,87 @@ class Dispatcher:
                 :meth:`~repro.roadnet.routing.RoutingEngine.prefetch_trees`
                 call (the default; ``False`` forces per-start computation,
                 the ablation arm of benchmark E13).
+            workers: worker-process override for the collect/verify stage;
+                defaults to ``SystemConfig.dispatch_workers``.  Values above
+                1 fan the per-shard searches out to a shared-memory worker
+                pool (:mod:`repro.core.parallel`); merge + commit always
+                stay on this process, so outcomes are byte-identical at any
+                worker count, and any pool failure falls back to in-process
+                execution mid-batch without changing a single option.
         """
         prepared = self._prepare_batch(requests, apply_global_constraints, shards, prefetch)
         if prepared is None:
             return []
         request_list, batch, views = prepared
+        shard_count = len(views)
+        worker_count = workers if workers is not None else self._config.dispatch_workers
+
+        pool = self._acquire_pool(worker_count)
+        if pool is not None and not pool.begin_batch(request_list, batch, shard_count, self._fleet):
+            pool = None  # shipping failed; the whole batch runs in-process
+        statistics = batch.statistics
+        ipc_before = pool.ipc_seconds if pool is not None else 0.0
+        if pool is not None:
+            statistics.parallel_workers = pool.workers
+        shard_walls = [0.0] * shard_count
 
         # Stage: per-shard collect/verify + merge + greedy commit, in
         # submission order.
         outcomes: List[DispatchOutcome] = []
-        for index, request in enumerate(request_list):
-            context = batch.context_for(index)  # re-raises recorded errors
-            started = time.perf_counter()
-            shard_skylines = [
-                self._matcher.collect_shard(context, view) for view in views
-            ]
-            merged = Skyline.merge(shard_skylines).options()
-            # The request's share of the pooled context building counts
-            # towards its response time, as it did when ``dispatch`` built
-            # the context inline.
-            elapsed = batch.context_seconds(index) + (time.perf_counter() - started)
-            self._matcher.statistics.requests_answered += 1
-            self._matcher.statistics.options_returned += len(merged)
-            if merged:
-                chosen = policy.choose(merged)
-                self.commit(request, chosen, direct=context.direct)
-                outcome = DispatchOutcome(
-                    request=request,
-                    options=tuple(merged),
-                    chosen=chosen,
-                    match_seconds=elapsed,
-                    direct_distance=context.direct,
-                )
-            else:
-                outcome = DispatchOutcome(
-                    request=request,
-                    options=(),
-                    chosen=None,
-                    match_seconds=elapsed,
-                    direct_distance=context.direct,
-                )
-            batch.release(index)  # free the pooled tree once the turn is over
-            outcomes.append(outcome)
-            if on_outcome is not None:
-                on_outcome(outcome)
+        try:
+            for index, request in enumerate(request_list):
+                context = batch.context_for(index)  # re-raises recorded errors
+                started = time.perf_counter()
+                remote = pool.collect(index) if pool is not None else None
+                if remote is not None:
+                    shard_skylines = [remote[shard][0] for shard in range(shard_count)]
+                    for shard in range(shard_count):
+                        shard_walls[shard] += remote[shard][1]
+                else:
+                    # In-process path -- also the mid-batch fallback after a
+                    # pool failure: the parent fleet carries every commit, so
+                    # local collection answers identically.
+                    shard_skylines = [
+                        self._matcher.collect_shard(context, view) for view in views
+                    ]
+                merged = Skyline.merge(shard_skylines).options()
+                # The request's share of the pooled context building counts
+                # towards its response time, as it did when ``dispatch`` built
+                # the context inline.
+                elapsed = batch.context_seconds(index) + (time.perf_counter() - started)
+                self._matcher.statistics.requests_answered += 1
+                self._matcher.statistics.options_returned += len(merged)
+                if merged:
+                    chosen = policy.choose(merged)
+                    self.commit(request, chosen, direct=context.direct)
+                    if pool is not None:
+                        pool.mark_dirty(self._fleet, self._fleet.get(chosen.vehicle_id))
+                    outcome = DispatchOutcome(
+                        request=request,
+                        options=tuple(merged),
+                        chosen=chosen,
+                        match_seconds=elapsed,
+                        direct_distance=context.direct,
+                    )
+                else:
+                    outcome = DispatchOutcome(
+                        request=request,
+                        options=(),
+                        chosen=None,
+                        match_seconds=elapsed,
+                        direct_distance=context.direct,
+                    )
+                batch.release(index)  # free the pooled tree once the turn is over
+                outcomes.append(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+        finally:
+            if pool is not None:
+                # Always fold worker counters back and drop the per-batch
+                # plane segment, even when a mid-batch error propagates.
+                pool.finish_batch(self._matcher.statistics, self._fleet.routing_engine.stats)
+                statistics.ipc_seconds = pool.ipc_seconds - ipc_before
+                statistics.shard_wall_seconds = tuple(shard_walls)
         return outcomes
 
     def _prepare_batch(
@@ -463,6 +507,71 @@ class Dispatcher:
             self._matcher.statistics.options_returned += len(merged)
             results.append(merged)
         return results
+
+    # ------------------------------------------------------------------
+    # parallel worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _acquire_pool(self, worker_count: int) -> Optional[ParallelDispatchPool]:
+        """A started pool for ``worker_count`` workers, or ``None`` to run in-process.
+
+        Pools are lazy (first parallel batch spawns), keyed on the engine
+        identity, the worker count and the matcher (any change retires the
+        old pool), torn down after sitting idle past their timeout, and
+        replaced after a failure.  A combination that failed to *start* is
+        remembered and not retried, so an environment without shared-memory
+        support pays the probe exactly once.
+        """
+        if worker_count <= 1 or not self._matcher.supports_sharding:
+            self._expire_idle_pool()
+            return None
+        engine = self._fleet.routing_engine
+        token = (id(engine), worker_count, self._matcher.name)
+        pool = self._pool
+        if pool is not None and (
+            pool.broken
+            or pool.workers != worker_count
+            or pool.engine_token != id(engine)
+            or time.monotonic() - pool.last_used > pool.idle_timeout
+        ):
+            pool.close()
+            self._pool = pool = None
+        if pool is None:
+            if token == self._pool_disabled_token:
+                return None
+            pool = ParallelDispatchPool(
+                engine,
+                self._fleet.grid,
+                self._matcher.config,
+                self._matcher.name,
+                self._matcher.price_model,
+                worker_count,
+            )
+            if not pool.ensure_started():
+                pool.close()
+                self._pool_disabled_token = token
+                return None
+            self._pool = pool
+        return pool
+
+    def _expire_idle_pool(self) -> None:
+        """Tear down a pool that broke or sat unused past its idle timeout."""
+        pool = self._pool
+        if pool is not None and (
+            pool.broken or time.monotonic() - pool.last_used > pool.idle_timeout
+        ):
+            pool.close()
+            self._pool = None
+
+    def close(self) -> None:
+        """Release the parallel worker pool, if one is running (idempotent).
+
+        Joins the worker processes and unlinks every shared-memory segment;
+        the dispatcher itself remains fully usable (a later parallel batch
+        simply spawns a fresh pool).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # ------------------------------------------------------------------
     # lifecycle notifications from the simulation engine

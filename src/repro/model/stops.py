@@ -70,6 +70,13 @@ class Stop:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Pickle by construction arguments, not by state: the precomputed
+        # hash bakes in this process's string-hash seed, so a stop shipped
+        # to/from a dispatch worker must recompute it under the receiving
+        # process's seed or set/dict membership silently breaks there.
+        return (Stop, (self.vertex, self.request_id, self.kind, self.riders))
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         sign = "+" if self.is_pickup else "-"
         return f"{self.kind.value}({self.request_id}@{self.vertex}{sign}{self.riders})"

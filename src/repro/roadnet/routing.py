@@ -126,6 +126,7 @@ __all__ = [
     "CHEngine",
     "make_engine",
     "ensure_engine",
+    "attach_shared_engine",
 ]
 
 #: Backend names accepted by :func:`make_engine` and ``SystemConfig``.
@@ -226,6 +227,47 @@ class EngineStats:
     build_seconds: float = 0.0
     load_seconds: float = 0.0
 
+    def accumulate(self, other: "EngineStats") -> None:
+        """Fold another record into this one (cross-process aggregation).
+
+        The parallel dispatch pool runs shard verification in worker
+        processes, each with its own engine instance; at batch end every
+        worker ships the *delta* its engine accumulated and the parent folds
+        it in here, so the per-shard counters keep counting the whole
+        system's work instead of silently dropping the remote share.
+        """
+        self.queries += other.queries
+        self.cache_hits += other.cache_hits
+        self.dijkstra_runs += other.dijkstra_runs
+        self.bidirectional_runs += other.bidirectional_runs
+        self.phast_sweeps += other.phast_sweeps
+        self.build_seconds += other.build_seconds
+        self.load_seconds += other.load_seconds
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy (delta bookkeeping across a remote batch)."""
+        return EngineStats(
+            queries=self.queries,
+            cache_hits=self.cache_hits,
+            dijkstra_runs=self.dijkstra_runs,
+            bidirectional_runs=self.bidirectional_runs,
+            phast_sweeps=self.phast_sweeps,
+            build_seconds=self.build_seconds,
+            load_seconds=self.load_seconds,
+        )
+
+    def delta_since(self, earlier: "EngineStats") -> "EngineStats":
+        """The work recorded after ``earlier`` was snapshotted."""
+        return EngineStats(
+            queries=self.queries - earlier.queries,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            dijkstra_runs=self.dijkstra_runs - earlier.dijkstra_runs,
+            bidirectional_runs=self.bidirectional_runs - earlier.bidirectional_runs,
+            phast_sweeps=self.phast_sweeps - earlier.phast_sweeps,
+            build_seconds=self.build_seconds - earlier.build_seconds,
+            load_seconds=self.load_seconds - earlier.load_seconds,
+        )
+
 
 class RoutingEngine(ABC):
     """Answers every distance / path query the rest of the system issues.
@@ -291,6 +333,18 @@ class RoutingEngine(ABC):
         of this bound and the grid-index cell bound.
         """
         return 0.0
+
+    def export_shared(self) -> Optional[Dict[str, object]]:
+        """The engine's immutable arrays, named for shared-memory publication.
+
+        The parallel dispatch pool (:mod:`repro.core.parallel`) publishes the
+        returned ndarrays into ``multiprocessing.shared_memory`` segments once
+        per engine build; worker processes re-wrap the segments zero-copy via
+        :func:`attach_shared_engine`.  ``None`` means the backend has no flat
+        ndarray representation (the dict backend, or NumPy is unavailable)
+        and the pool must fall back to in-process execution.
+        """
+        return None
 
     def prefetch_trees(
         self, sources: Sequence[VertexId]
@@ -431,6 +485,33 @@ class CSRGraph:
         graph.indptr = _as_int_list(indptr)
         graph.indices = _as_int_list(indices)
         graph.weights = _as_float_list(weights)
+        graph._finalise_matrix()
+        return graph
+
+    @classmethod
+    def from_shared(
+        cls,
+        vertex_ids: Sequence[int],
+        indptr: Sequence[int],
+        indices: Sequence[int],
+        weights: Sequence[float],
+    ) -> "CSRGraph":
+        """Wrap already-materialised (shared-memory) ndarrays without copying.
+
+        Unlike :meth:`from_arrays` the CSR arrays are kept as the ndarrays
+        they arrive as -- zero-copy views into ``multiprocessing``
+        shared-memory segments -- so a worker process attaches a compiled
+        graph without duplicating it.  Only ``vertex_ids`` is materialised
+        (the id -> index dict needs hashable Python ints anyway).
+        """
+        graph = cls.__new__(cls)
+        graph.vertex_ids = _as_int_list(vertex_ids)
+        graph.index_of = {
+            vertex: index for index, vertex in enumerate(graph.vertex_ids)
+        }
+        graph.indptr = indptr
+        graph.indices = indices
+        graph.weights = weights
         graph._finalise_matrix()
         return graph
 
@@ -1089,6 +1170,46 @@ class ContractionHierarchy:
             ),
         )
 
+    @classmethod
+    def from_shared(
+        cls,
+        rank: Sequence[int],
+        up_indptr: Sequence[int],
+        up_indices: Sequence[int],
+        up_weights: Sequence[float],
+        up_mids: Sequence[int],
+        shortcut_count: Sequence[int],
+        down_heads: Sequence[int],
+        down_indptr: Sequence[int],
+        down_tails: Sequence[int],
+        down_weights: Sequence[float],
+        down_level_ptr: Sequence[int],
+    ) -> "ContractionHierarchy":
+        """Wrap shared-memory ndarrays without copying (worker attach path).
+
+        The arrays stay exactly the ndarrays they arrive as; only ``order``
+        (the rank inverse) is derived, and the downward sweep arrays are
+        mandatory -- the parent always exports them, so the worker never
+        re-runs :meth:`_build_downward` over read-only views.
+        """
+        if _np is None:  # pragma: no cover - attach requires NumPy upstream
+            raise RuntimeError("shared-memory attach requires NumPy")
+        order = _np.argsort(_np.asarray(rank, dtype=_np.int64), kind="stable")
+        return cls(
+            rank,
+            order,
+            up_indptr,
+            up_indices,
+            up_weights,
+            up_mids,
+            int(shortcut_count[0]),
+            down_heads=down_heads,
+            down_indptr=down_indptr,
+            down_tails=down_tails,
+            down_weights=down_weights,
+            down_level_ptr=down_level_ptr,
+        )
+
     def to_arrays(self) -> Dict[str, Sequence[float]]:
         """The hierarchy's flat arrays, named for the artifact cache.
 
@@ -1210,7 +1331,9 @@ class ContractionHierarchy:
         total = 0.0
         for weight in self._unpack_weights(edges):
             total += weight
-        return total
+        # The weights may be NumPy scalars when the hierarchy is backed by
+        # shared-memory ndarrays; callers are promised plain floats.
+        return float(total)
 
     def _unpack_weights(
         self, edges: List[Tuple[int, int, float, int]]
@@ -1304,6 +1427,16 @@ class PHASTTreeProvider(TreeProvider):
             self._np_down_weights = _np.asarray(
                 hierarchy.down_weights, dtype=_np.float64
             )
+            # float32 copy of the downward weights: the sweep's per-level
+            # gather-add is memory-bound, so halving the plane and weight
+            # widths roughly halves its cost.  The sweep labels only ever
+            # certify *structure* (bucket membership and visit order); the
+            # refold re-derives every exact label in float64 over original
+            # edges, and a runtime guard falls back to the float64 sweep
+            # whenever float32 rounding could threaten the bucket
+            # separation (see :meth:`_trees_numpy`).
+            self._np_down_weights32 = self._np_down_weights.astype(_np.float32)
+            self._level_count = max(len(hierarchy.down_level_ptr) - 1, 1)
             self._np_indptr = _np.asarray(graph.indptr, dtype=_np.int64)
             self._np_indices = _np.asarray(graph.indices, dtype=_np.int64)
             self._np_weights = _np.asarray(graph.weights, dtype=_np.float64)
@@ -1413,13 +1546,42 @@ class PHASTTreeProvider(TreeProvider):
                     for start in range(0, len(sources), PHAST_SOURCE_CHUNK)
                 ]
             )
+        dist = self._sweep(sources, _np.float32)
+        # Guard the float32 labels before trusting them for bucketing: the
+        # refold's correctness needs a parent and its child (a true gap of
+        # at least ``min_edge_weight = 2 * bucket_width``) to land in
+        # different buckets.  Each label is a sum of at most
+        # ``level_count + O(1)`` float32 additions, so its error is bounded
+        # by ``max_label * eps32 * (level_count + 4)``; as long as twice
+        # that bound stays within one bucket width the approximate gap is
+        # still >= bucket_width and floor-bucketing cannot merge the pair.
+        # Pathological networks (tiny min weight under a huge diameter)
+        # fail the check and re-sweep in float64, which restores the
+        # weight-scale margin the original analysis relied on.
+        finite = dist[_np.isfinite(dist)]
+        max_label = float(finite.max()) if finite.size else 0.0
+        err_bound = (
+            max_label * float(_np.finfo(_np.float32).eps) * (self._level_count + 4)
+        )
+        if 2.0 * err_bound > self._bucket_width:
+            dist = self._sweep(sources, _np.float64)
+        return self._refold_numpy(sources, dist)
+
+    def _sweep(self, sources: List[int], dtype):
+        """The downward relaxation over one level at a time, in ``dtype``."""
+        n = len(self._graph.vertex_ids)
         k = len(sources)
-        dist = _np.full((k, n), INFINITY, dtype=_np.float64)
+        dist = _np.full((k, n), INFINITY, dtype=dtype)
         for row, source in enumerate(sources):
             labels = self._upward_labels(source)
             dist[row, list(labels.keys())] = list(labels.values())
         heads, down_indptr = self._np_down_heads, self._np_down_indptr
-        tails, down_weights = self._np_down_tails, self._np_down_weights
+        tails = self._np_down_tails
+        down_weights = (
+            self._np_down_weights32
+            if dtype == _np.float32
+            else self._np_down_weights
+        )
         level_ptr = self._hierarchy.down_level_ptr
         minimum = _np.minimum
         for level in range(len(level_ptr) - 1):
@@ -1431,7 +1593,7 @@ class PHASTTreeProvider(TreeProvider):
             mins = minimum.reduceat(candidates, down_indptr[a:b] - e0, axis=1)
             level_heads = heads[a:b]
             dist[:, level_heads] = minimum(dist[:, level_heads], mins)
-        return self._refold_numpy(sources, dist)
+        return dist
 
     #: Refuse the bucket fold past this many non-empty buckets (a pathological
     #: min-weight / diameter ratio) and refold per source in Python instead --
@@ -1466,9 +1628,13 @@ class PHASTTreeProvider(TreeProvider):
         positions = _np.flatnonzero(folds)  # flat (row * n + column) cells
         if not positions.size:
             return exact
-        keys = _np.floor(flat_approx[positions] / self._bucket_width).astype(
-            _np.int64
-        )
+        # Bucket keys are always computed in float64: the sweep plane may be
+        # float32 (guarded upstream), and a float32 divide could round a
+        # label across a bucket boundary the guard's analysis did not cover.
+        labels = flat_approx[positions]
+        if labels.dtype != _np.float64:
+            labels = labels.astype(_np.float64)
+        keys = _np.floor(labels / self._bucket_width).astype(_np.int64)
         order = _np.argsort(keys, kind="stable")
         positions, keys = positions[order], keys[order]
         starts = _np.concatenate(
@@ -1765,6 +1931,68 @@ class CSREngine(RoutingEngine):
             self._graph.index(source), self._graph.index(target)
         )
 
+    # ------------------------------------------------------------------
+    # shared-memory surface (parallel dispatch pool)
+    # ------------------------------------------------------------------
+    def export_shared(self) -> Optional[Dict[str, object]]:
+        if _np is None:
+            return None
+        graph = self._graph
+        arrays: Dict[str, object] = {
+            "vertex_ids": _np.asarray(graph.vertex_ids, dtype=_np.int64),
+            "indptr": _np.asarray(graph.indptr, dtype=_np.int64),
+            "indices": _np.asarray(graph.indices, dtype=_np.int64),
+            "weights": _np.asarray(graph.weights, dtype=_np.float64),
+        }
+        if self._alt is not None and self._alt.landmark_count:
+            alt = self._alt.to_arrays()
+            arrays["alt_landmark_indices"] = _np.asarray(
+                alt["landmark_indices"], dtype=_np.int64
+            )
+            arrays["alt_tables"] = _np.asarray(alt["tables"], dtype=_np.float64)
+        return arrays
+
+    @classmethod
+    def attach_shared(
+        cls,
+        network: RoadNetwork,
+        arrays: Mapping[str, object],
+        max_cached_sources: int = 1024,
+    ) -> "CSREngine":
+        """Rebuild an engine over shared-memory ndarrays without recompiling.
+
+        The arrays must be what :meth:`export_shared` produced for the same
+        network; they are kept by reference (zero copy), so the attached
+        engine answers bit-identically to the exporting one -- same compile
+        order, same canonical rooting, same tree floats.
+        """
+        engine = cls.__new__(cls)
+        engine._network = network
+        engine._max_cached_sources = max_cached_sources
+        engine._cache = None
+        engine._fingerprint = None
+        engine.stats = EngineStats()
+        engine._graph = CSRGraph.from_shared(
+            arrays["vertex_ids"],
+            arrays["indptr"],
+            arrays["indices"],
+            arrays["weights"],
+        )
+        engine._tree_provider = PlaneTreeProvider(engine._graph)
+        engine._trees = OrderedDict()
+        if "alt_landmark_indices" in arrays:
+            engine._alt = ALTIndex.from_arrays(
+                engine._graph,
+                arrays["alt_landmark_indices"],
+                arrays["alt_tables"],
+            )
+            engine._landmarks = engine._alt.landmark_count
+            engine.backend = "csr+alt"
+        else:
+            engine._alt = None
+            engine._landmarks = 0
+        return engine
+
     def invalidate(self) -> None:
         """Recompile the CSR arrays and landmark tables, drop cached trees.
 
@@ -1935,6 +2163,49 @@ class TableEngine(RoutingEngine):
         )
         self._table = self._build_table()
 
+    # ------------------------------------------------------------------
+    # shared-memory surface (parallel dispatch pool)
+    # ------------------------------------------------------------------
+    def export_shared(self) -> Optional[Dict[str, object]]:
+        if _np is None:
+            return None
+        graph = self._graph
+        return {
+            "vertex_ids": _np.asarray(graph.vertex_ids, dtype=_np.int64),
+            "indptr": _np.asarray(graph.indptr, dtype=_np.int64),
+            "indices": _np.asarray(graph.indices, dtype=_np.int64),
+            "weights": _np.asarray(graph.weights, dtype=_np.float64),
+            "matrix": _np.asarray(self._table, dtype=_np.float64),
+        }
+
+    @classmethod
+    def attach_shared(
+        cls,
+        network: RoadNetwork,
+        arrays: Mapping[str, object],
+        max_cached_sources: int = 1024,  # accepted for interface uniformity
+    ) -> "TableEngine":
+        """Rebuild a table engine over shared-memory ndarrays (zero copy).
+
+        The all-pairs matrix -- the expensive part -- is mapped, not
+        recomputed, so attaching costs O(n) for the id -> index dict only.
+        """
+        engine = cls.__new__(cls)
+        engine._network = network
+        engine._block_size = DEFAULT_TABLE_BLOCK
+        engine._cache = None
+        engine._fingerprint = None
+        engine.stats = EngineStats()
+        engine._graph = CSRGraph.from_shared(
+            arrays["vertex_ids"],
+            arrays["indptr"],
+            arrays["indices"],
+            arrays["weights"],
+        )
+        engine._max_vertices = max(DEFAULT_TABLE_MAX_VERTICES, len(engine._graph))
+        engine._table = arrays["matrix"]
+        return engine
+
 
 class CHEngine(CSREngine):
     """Contraction-hierarchy routing: scalable point queries *and* trees.
@@ -2073,6 +2344,121 @@ class CHEngine(CSREngine):
         super().invalidate()
         self._hierarchy = self._compile_hierarchy()
         self._tree_provider = self._resolve_tree_provider()
+
+    # ------------------------------------------------------------------
+    # shared-memory surface (parallel dispatch pool)
+    # ------------------------------------------------------------------
+    def export_shared(self) -> Optional[Dict[str, object]]:
+        arrays = super().export_shared()
+        if arrays is None:
+            return None
+        hierarchy = self._hierarchy
+        arrays.update(
+            {
+                "ch_rank": _np.asarray(hierarchy.rank, dtype=_np.int64),
+                "ch_up_indptr": _np.asarray(hierarchy.up_indptr, dtype=_np.int64),
+                "ch_up_indices": _np.asarray(hierarchy.up_indices, dtype=_np.int64),
+                "ch_up_weights": _np.asarray(hierarchy.up_weights, dtype=_np.float64),
+                "ch_up_mids": _np.asarray(hierarchy.up_mids, dtype=_np.int64),
+                "ch_shortcut_count": _np.asarray(
+                    [hierarchy.shortcut_count], dtype=_np.int64
+                ),
+                "ch_down_heads": _np.asarray(hierarchy.down_heads, dtype=_np.int64),
+                "ch_down_indptr": _np.asarray(hierarchy.down_indptr, dtype=_np.int64),
+                "ch_down_tails": _np.asarray(hierarchy.down_tails, dtype=_np.int64),
+                "ch_down_weights": _np.asarray(
+                    hierarchy.down_weights, dtype=_np.float64
+                ),
+                "ch_down_level_ptr": _np.asarray(
+                    hierarchy.down_level_ptr, dtype=_np.int64
+                ),
+            }
+        )
+        return arrays
+
+    @classmethod
+    def attach_shared(
+        cls,
+        network: RoadNetwork,
+        arrays: Mapping[str, object],
+        max_cached_sources: int = 1024,
+        tree_provider: str = "auto",
+        phast_min_vertices: int = PHAST_AUTO_MIN_VERTICES,
+    ) -> "CHEngine":
+        """Rebuild a CH engine over shared-memory ndarrays (zero copy).
+
+        Neither the CSR compile nor the contraction re-runs: the upward and
+        downward arrays are mapped as-is, so a worker attach costs O(n) for
+        the rank inverse and the id -> index dict.
+        """
+        engine = cls.__new__(cls)
+        engine._tree_provider_request = tree_provider
+        engine._phast_min_vertices = phast_min_vertices
+        engine._network = network
+        engine._max_cached_sources = max_cached_sources
+        engine._landmarks = 0
+        engine._cache = None
+        engine._fingerprint = None
+        engine.stats = EngineStats()
+        engine._graph = CSRGraph.from_shared(
+            arrays["vertex_ids"],
+            arrays["indptr"],
+            arrays["indices"],
+            arrays["weights"],
+        )
+        engine._trees = OrderedDict()
+        engine._alt = None
+        engine._hierarchy = ContractionHierarchy.from_shared(
+            arrays["ch_rank"],
+            arrays["ch_up_indptr"],
+            arrays["ch_up_indices"],
+            arrays["ch_up_weights"],
+            arrays["ch_up_mids"],
+            arrays["ch_shortcut_count"],
+            down_heads=arrays["ch_down_heads"],
+            down_indptr=arrays["ch_down_indptr"],
+            down_tails=arrays["ch_down_tails"],
+            down_weights=arrays["ch_down_weights"],
+            down_level_ptr=arrays["ch_down_level_ptr"],
+        )
+        engine._tree_provider = engine._resolve_tree_provider()
+        return engine
+
+
+def attach_shared_engine(
+    backend: str,
+    network: RoadNetwork,
+    arrays: Mapping[str, object],
+    max_cached_sources: int = 1024,
+    tree_provider: str = "auto",
+) -> RoutingEngine:
+    """Attach a routing engine to published shared-memory ndarrays.
+
+    The worker-side counterpart of :meth:`RoutingEngine.export_shared`:
+    ``arrays`` maps the exported names to ndarrays wrapped over the attached
+    segments, and the returned engine answers bit-identically to the
+    exporting one without recompiling anything.
+
+    Raises:
+        ConfigurationError: for a backend without a shared-memory surface
+            (the dict backend's adjacency is not flat-array representable).
+    """
+    if backend in ("csr", "csr+alt"):
+        return CSREngine.attach_shared(
+            network, arrays, max_cached_sources=max_cached_sources
+        )
+    if backend == "table":
+        return TableEngine.attach_shared(network, arrays)
+    if backend == "ch":
+        return CHEngine.attach_shared(
+            network,
+            arrays,
+            max_cached_sources=max_cached_sources,
+            tree_provider=tree_provider,
+        )
+    raise ConfigurationError(
+        f"routing backend {backend!r} has no shared-memory attach path"
+    )
 
 
 def make_engine(

@@ -326,6 +326,7 @@ class PTRiderService:
         panel = self._engine.statistics.panel()
         panel["current_time"] = self._engine.time
         panel["match_shards"] = float(self._config.match_shards)
+        panel["dispatch_workers"] = float(self._config.dispatch_workers)
         panel.update({f"matcher_{k}": v for k, v in self._matcher.statistics.as_dict().items()})
         panel.update({f"fleet_{k}": v for k, v in self._fleet.occupancy_statistics().items()})
         batch_stats = self._dispatcher.last_batch_statistics
@@ -361,6 +362,13 @@ class PTRiderService:
         Counter fields an engine does not track (e.g. the dict backend has
         no PHAST sweeps) read 0.0.  All float-valued fields also appear in
         :meth:`statistics` under a ``routing_`` prefix.
+
+        The panel also reports the parallel-dispatch posture of the most
+        recent batch: ``dispatch_workers`` (the configured knob),
+        ``parallel_workers`` (how many worker processes actually served the
+        last batch; 0.0 means it ran in-process) and ``ipc_seconds`` (wall
+        time the last batch spent shipping requests out and skylines back
+        over the pipes rather than computing).
         """
         engine = self._fleet.routing_engine
         stats = getattr(engine, "stats", None)
@@ -379,6 +387,14 @@ class PTRiderService:
             "load_seconds",
         ):
             payload[field_name] = float(getattr(stats, field_name, 0) or 0)
+        payload["dispatch_workers"] = float(self._config.dispatch_workers)
+        batch_stats = self._dispatcher.last_batch_statistics
+        payload["parallel_workers"] = (
+            float(batch_stats.parallel_workers) if batch_stats is not None else 0.0
+        )
+        payload["ipc_seconds"] = (
+            float(batch_stats.ipc_seconds) if batch_stats is not None else 0.0
+        )
         return payload
 
     def set_parameters(
@@ -392,6 +408,7 @@ class PTRiderService:
         table_max_vertices: Optional[int] = None,
         tree_provider: Optional[str] = None,
         match_shards: Optional[int] = None,
+        dispatch_workers: Optional[int] = None,
     ) -> SystemConfig:
         """The admin form: update global parameters and/or swap the matcher.
 
@@ -406,7 +423,10 @@ class PTRiderService:
         is built).  ``match_shards`` controls how many fleet shards the
         batch dispatch pipeline partitions vehicles into; any value yields
         the same options (the per-shard skylines merge losslessly), so it
-        is purely a scale-out knob.
+        is purely a scale-out knob.  ``dispatch_workers`` controls how many
+        worker processes the batch pipeline fans the per-shard collect
+        stage out to (1 keeps everything in-process); like shards it never
+        changes outcomes, only wall time.
         """
         changes: Dict[str, object] = {}
         if max_waiting is not None:
@@ -421,6 +441,8 @@ class PTRiderService:
             changes["table_max_vertices"] = table_max_vertices
         if match_shards is not None:
             changes["match_shards"] = match_shards
+        if dispatch_workers is not None:
+            changes["dispatch_workers"] = dispatch_workers
         if matcher_name is not None:
             if matcher_name not in MATCHER_REGISTRY:
                 raise ConfigurationError(
@@ -476,6 +498,10 @@ class PTRiderService:
             self._matcher = self._build_matcher(matcher_name)
         else:
             self._matcher = self._build_matcher(type(self._matcher).name)
+        # The outgoing dispatcher may own a live worker pool pinned to the
+        # old engine/matcher; release its shared-memory segments before the
+        # replacement takes over.
+        self._dispatcher.close()
         self._dispatcher = Dispatcher(self._fleet, self._matcher, self._config)
         self._engine._dispatcher = self._dispatcher  # keep the engine on the new dispatcher
         return self._config
@@ -501,6 +527,7 @@ def build_system(
     routing: Optional[str] = None,
     routing_cache: Optional[str] = None,
     tree_provider: Optional[str] = None,
+    dispatch_workers: Optional[int] = None,
 ) -> PTRiderService:
     """Build a ready-to-use PTRider system.
 
@@ -519,6 +546,9 @@ def build_system(
             to the config's ``routing_cache_dir``.
         tree_provider: tree-provider override ("auto", "plane" or "phast");
             defaults to the config's ``tree_provider``.
+        dispatch_workers: worker processes for the batch dispatch pipeline
+            (1 keeps dispatch in-process); defaults to the config's
+            ``dispatch_workers``.
 
     Returns:
         A :class:`PTRiderService` whose fleet is registered and idle.
@@ -533,6 +563,8 @@ def build_system(
         system_config = system_config.with_updates(routing_cache_dir=routing_cache)
     if tree_provider is not None and tree_provider != system_config.tree_provider:
         system_config = system_config.with_updates(tree_provider=tree_provider)
+    if dispatch_workers is not None and dispatch_workers != system_config.dispatch_workers:
+        system_config = system_config.with_updates(dispatch_workers=dispatch_workers)
     engine = make_engine(
         network,
         system_config.routing_backend,

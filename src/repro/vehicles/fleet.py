@@ -27,15 +27,71 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set
 from repro.errors import UnknownVehicleError, VehicleError
 from repro.roadnet.grid_index import CellId, GridIndex
 from repro.roadnet.routing import RoutingEngine, ensure_engine, make_engine
+from repro.vehicles.kinetic_tree import KineticTree
 from repro.vehicles.vehicle import Vehicle
 
-__all__ = ["Fleet", "ShardedFleetView", "shard_of_cell"]
+__all__ = [
+    "Fleet",
+    "ShardedFleetView",
+    "shard_of_cell",
+    "snapshot_vehicle",
+    "restore_vehicle",
+]
 
 
 def shard_of_cell(cell_id: CellId, columns: int, shard_count: int) -> int:
     """Shard index of a grid cell: row-major cell index modulo ``shard_count``."""
     row, column = cell_id
     return (row * columns + column) % shard_count
+
+
+def snapshot_vehicle(vehicle: Vehicle) -> tuple:
+    """A pickle-lean snapshot of one vehicle's dispatch-relevant state.
+
+    The parallel dispatch pool ships these instead of :class:`Vehicle`
+    objects: the payload is a flat tuple of frozen dataclasses and
+    primitives (no grid registrations, no back-references), so pickling
+    stays cheap and the restored vehicle is state-identical for every
+    check the matchers run (waiting/onboard budgets, kinetic tree,
+    assignment order).
+    """
+    return (
+        vehicle.vehicle_id,
+        vehicle.location,
+        vehicle.capacity,
+        vehicle.offset,
+        vehicle.waiting_requests,
+        vehicle.onboard_requests,
+        vehicle.unfinished_request_ids(),
+        vehicle.current_schedules(),
+        vehicle.distance_driven,
+        vehicle.occupied_distance,
+    )
+
+
+def restore_vehicle(payload: tuple) -> Vehicle:
+    """Rebuild a :class:`Vehicle` from a :func:`snapshot_vehicle` payload."""
+    (
+        vehicle_id,
+        location,
+        capacity,
+        offset,
+        waiting,
+        onboard,
+        order,
+        schedules,
+        distance_driven,
+        occupied_distance,
+    ) = payload
+    vehicle = Vehicle(vehicle_id, location=location, capacity=capacity, offset=offset)
+    vehicle._waiting = dict(waiting)
+    vehicle._onboard = dict(onboard)
+    vehicle._assignment_order = list(order)
+    if schedules:
+        vehicle.kinetic_tree = KineticTree(root_location=location, schedules=schedules)
+    vehicle.distance_driven = distance_driven
+    vehicle.occupied_distance = occupied_distance
+    return vehicle
 
 
 class Fleet:
@@ -147,6 +203,23 @@ class Fleet:
         self._clear_cells(vehicle)
         del self._vehicles[vehicle_id]
         return vehicle
+
+    def replace_vehicle(self, vehicle: Vehicle) -> None:
+        """Swap in a refreshed copy of an already-registered vehicle.
+
+        The parallel dispatch pool's workers keep mirror fleets in sync by
+        replacing each committed vehicle with its restored snapshot: the old
+        object's grid registrations are cleared, the new object takes its
+        slot and is re-registered.  Commits never move a vehicle, so shard
+        ownership is unchanged by construction.
+
+        Raises:
+            UnknownVehicleError: when no vehicle with that id is registered.
+        """
+        old = self.get(vehicle.vehicle_id)
+        self._clear_cells(old)
+        self._vehicles[vehicle.vehicle_id] = vehicle
+        self.refresh_vehicle(vehicle.vehicle_id)
 
     def refresh_vehicle(self, vehicle_id: str) -> None:
         """Re-register ``vehicle_id`` in the grid lists after a state change.
@@ -264,6 +337,19 @@ class Fleet:
         if shard_count < 1:
             raise VehicleError(f"shard_count must be >= 1, got {shard_count}")
         return [ShardedFleetView(self, shard, shard_count) for shard in range(shard_count)]
+
+    def shard_snapshots(self, shard_count: int) -> Dict[int, List[tuple]]:
+        """Snapshot every vehicle, grouped by owning shard (worker shipping).
+
+        The per-shard lists are sorted by vehicle id (the fleet's canonical
+        iteration order), so a worker re-adding them reproduces the parent's
+        deterministic registration sequence.
+        """
+        shards: Dict[int, List[tuple]] = {shard: [] for shard in range(shard_count)}
+        for vehicle in self.vehicles():
+            shard = self.shard_of_vehicle(vehicle, shard_count)
+            shards[shard].append(snapshot_vehicle(vehicle))
+        return shards
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Fleet(vehicles={len(self._vehicles)}, grid={self._grid!r})"

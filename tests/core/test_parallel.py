@@ -1,0 +1,198 @@
+"""Unit tests for the parallel dispatch pool's lifecycle and failure paths.
+
+Byte-identity of the parallel results is property-tested in
+``tests/property/test_parallel_equivalence.py``; this module covers the
+machinery around it: shared-memory segment lifecycle (publish, attach,
+unlink-on-close), the clean in-process fallbacks when the pool cannot start,
+and recovery after a worker crash.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.core.parallel as parallel
+from repro.core.config import SystemConfig
+from repro.core.dispatcher import Dispatcher, OptionPolicy
+from repro.core.parallel import SharedArrayPack, attach_shared_arrays, parallel_available
+from repro.core.single_side import SingleSideSearchMatcher
+from repro.roadnet.generators import grid_network
+from repro.roadnet.routing import make_engine
+from repro.sim.workload import random_requests
+
+from tests.conftest import build_fleet
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(),
+    reason="parallel dispatch needs numpy + shared memory + spawn",
+)
+
+np = pytest.importorskip("numpy")
+
+SEED = 31
+
+
+def _build_dispatcher(backend: str) -> Dispatcher:
+    network = grid_network(5, 5, weight_jitter=0.3, seed=SEED)
+    rng = random.Random(SEED)
+    vertices = network.vertices()
+    locations = [rng.choice(vertices) for _ in range(6)]
+    fleet = build_fleet(network, locations, capacity=4, grid_rows=3, grid_columns=3)
+    fleet.set_routing_engine(make_engine(network, backend))
+    config = SystemConfig(max_waiting=6.0, service_constraint=0.6, max_pickup_distance=10.0)
+    matcher = SingleSideSearchMatcher(fleet, config=config)
+    return Dispatcher(fleet, matcher, config)
+
+
+def _burst(dispatcher, count=6, seed=SEED + 1, prefix="u-"):
+    return random_requests(
+        dispatcher.fleet.grid.network, count, 6.0, 0.6, seed=seed, id_prefix=prefix
+    )
+
+
+def _outcome_key(outcome):
+    return (outcome.request.request_id, tuple(outcome.options), outcome.chosen)
+
+
+class TestSharedArrayPack:
+    def test_publish_attach_roundtrip(self):
+        arrays = {
+            "weights": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "indices": np.array([3, 1, 2], dtype=np.int64),
+            "empty": np.array([], dtype=np.float32),
+        }
+        pack = SharedArrayPack.publish(arrays)
+        try:
+            attached, handles = attach_shared_arrays(pack.manifest)
+            assert sorted(attached) == sorted(arrays)
+            for name, original in arrays.items():
+                view = attached[name]
+                assert view.dtype == original.dtype
+                assert view.shape == original.shape
+                assert np.array_equal(view, original)
+                # workers must never scribble on the parent's buffers
+                assert not view.flags.writeable
+            for handle in handles:
+                handle.close()
+        finally:
+            pack.close()
+
+    def test_close_unlinks_the_segments(self):
+        pack = SharedArrayPack.publish({"a": np.ones(8)})
+        manifest = pack.manifest
+        assert not pack.closed
+        pack.close()
+        assert pack.closed
+        # The segments are gone from the OS, not merely closed: attaching
+        # by name must fail (nothing can leak in /dev/shm).
+        with pytest.raises(FileNotFoundError):
+            attach_shared_arrays(manifest)
+
+    def test_close_is_idempotent(self):
+        pack = SharedArrayPack.publish({"a": np.ones(4)})
+        pack.close()
+        pack.close()
+        assert pack.closed
+
+
+class TestFallbacks:
+    def test_dict_backend_has_no_export_surface(self):
+        """No exportable arrays -> the batch runs in-process, once probed."""
+        sequential = _build_dispatcher("dict")
+        requests = _burst(sequential)
+        expected = [
+            _outcome_key(o)
+            for o in sequential.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
+        ]
+
+        dispatcher = _build_dispatcher("dict")
+        outcomes = dispatcher.dispatch_batch(
+            requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+        )
+        assert [_outcome_key(o) for o in outcomes] == expected
+        assert dispatcher.last_batch_statistics.parallel_workers == 0
+        # the failed combination is remembered; no pool and no re-probe
+        assert dispatcher._pool is None
+        assert dispatcher._pool_disabled_token is not None
+
+    def test_unregistered_matcher_falls_back(self, monkeypatch):
+        """A matcher outside the worker registry keeps dispatch in-process."""
+        monkeypatch.setattr(parallel, "_MATCHERS", {})
+        dispatcher = _build_dispatcher("csr")
+        requests = _burst(dispatcher)
+        outcomes = dispatcher.dispatch_batch(
+            requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+        )
+        assert len(outcomes) == len(requests)
+        assert dispatcher.last_batch_statistics.parallel_workers == 0
+        assert dispatcher._pool is None
+
+    def test_workers_one_never_builds_a_pool(self):
+        dispatcher = _build_dispatcher("csr")
+        dispatcher.dispatch_batch(
+            _burst(dispatcher), policy=OptionPolicy.CHEAPEST, shards=2, workers=1
+        )
+        assert dispatcher._pool is None
+        assert dispatcher.last_batch_statistics.parallel_workers == 0
+
+
+class TestCrashRecovery:
+    def test_worker_crash_falls_back_then_respawns(self):
+        """Kill the workers between batches: the next batch degrades to the
+        in-process path byte-identically, and the one after that gets a
+        freshly spawned pool."""
+        twin = _build_dispatcher("csr")
+        dispatcher = _build_dispatcher("csr")
+        bursts = [
+            _burst(twin, count=4, seed=SEED + i, prefix=f"c{i}-") for i in (1, 2, 3)
+        ]
+        try:
+            for round_index, requests in enumerate(bursts):
+                expected = [
+                    _outcome_key(o)
+                    for o in twin.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
+                ]
+                outcomes = dispatcher.dispatch_batch(
+                    requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+                )
+                assert [_outcome_key(o) for o in outcomes] == expected
+                if round_index == 0:
+                    pool = dispatcher._pool
+                    assert pool is not None
+                    assert dispatcher.last_batch_statistics.parallel_workers == 2
+                    # simulate an external worker crash
+                    for process, _ in pool._processes:
+                        process.terminate()
+                        process.join(timeout=5.0)
+                elif round_index == 1:
+                    # shipping to dead workers failed -> whole batch ran
+                    # in-process, pool condemned
+                    assert dispatcher.last_batch_statistics.parallel_workers == 0
+                    assert pool.broken
+                else:
+                    # a fresh pool replaced the broken one
+                    assert dispatcher._pool is not None
+                    assert dispatcher._pool is not pool
+                    assert dispatcher.last_batch_statistics.parallel_workers == 2
+        finally:
+            dispatcher.close()
+
+    def test_dispatcher_close_unlinks_pool_segments(self):
+        dispatcher = _build_dispatcher("csr")
+        try:
+            dispatcher.dispatch_batch(
+                _burst(dispatcher), policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+            )
+            pool = dispatcher._pool
+            assert pool is not None
+            manifest = pool._pack.manifest
+        finally:
+            dispatcher.close()
+        assert dispatcher._pool is None
+        assert pool._pack is None
+        with pytest.raises(FileNotFoundError):
+            attach_shared_arrays(manifest)
+        # close is idempotent and a later batch simply respawns
+        dispatcher.close()

@@ -1,0 +1,154 @@
+"""Byte-identity of parallel shard dispatch with the sequential greedy loop.
+
+The worker pool (:class:`~repro.core.parallel.ParallelDispatchPool`) moves
+the per-shard collect/verify stage of ``dispatch_batch`` into spawned
+processes that re-wrap the engine's shared-memory arrays; merge and greedy
+commit stay on the parent.  For every (backend, workers, shards) combination
+the outcomes -- offered skylines, chosen vehicles, commit order, fleet
+end-state -- must be byte-identical to ``dispatch_sequential``, and the
+matcher/engine work counters folded back from the workers must equal the
+in-process pipeline's.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.dispatcher import Dispatcher, OptionPolicy
+from repro.core.parallel import parallel_available
+from repro.core.single_side import SingleSideSearchMatcher
+from repro.roadnet.generators import grid_network
+from repro.roadnet.routing import make_engine
+from repro.sim.workload import random_requests
+
+from tests.conftest import build_fleet
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(),
+    reason="parallel dispatch needs numpy + shared memory + spawn",
+)
+
+SEED = 23
+VEHICLES = 8
+REQUESTS = 10
+
+
+def _build_dispatcher(backend: str) -> Dispatcher:
+    """A deterministic small city (identical per call, per backend)."""
+    network = grid_network(6, 6, weight_jitter=0.35, seed=SEED)
+    rng = random.Random(SEED)
+    vertices = network.vertices()
+    locations = [rng.choice(vertices) for _ in range(VEHICLES)]
+    fleet = build_fleet(network, locations, capacity=4, grid_rows=3, grid_columns=3)
+    fleet.set_routing_engine(make_engine(network, backend))
+    config = SystemConfig(max_waiting=6.0, service_constraint=0.6, max_pickup_distance=10.0)
+    matcher = SingleSideSearchMatcher(fleet, config=config)
+    return Dispatcher(fleet, matcher, config)
+
+
+def _burst(dispatcher: Dispatcher):
+    return random_requests(
+        dispatcher.fleet.grid.network, REQUESTS, 6.0, 0.6, seed=SEED + 1,
+        id_prefix="p-",
+    )
+
+
+def _outcome_key(outcome):
+    return (outcome.request.request_id, tuple(outcome.options), outcome.chosen)
+
+
+def _fleet_state(fleet):
+    return [
+        (
+            vehicle.vehicle_id,
+            vehicle.location,
+            vehicle.offset,
+            sorted(vehicle.unfinished_request_ids()),
+            tuple(
+                sorted(
+                    tuple((stop.vertex, stop.request_id, stop.kind.value) for stop in schedule)
+                    for schedule in vehicle.kinetic_tree.schedules()
+                )
+            ),
+        )
+        for vehicle in fleet.vehicles()
+    ]
+
+
+@pytest.mark.parametrize("backend", ("csr", "ch"))
+@pytest.mark.parametrize("workers", (1, 2, 4))
+@pytest.mark.parametrize("shards", (1, 2, 4))
+def test_parallel_dispatch_equals_sequential(backend, workers, shards):
+    sequential = _build_dispatcher(backend)
+    requests = _burst(sequential)
+    loop_outcomes = sequential.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
+
+    parallel = _build_dispatcher(backend)
+    try:
+        pipeline_outcomes = parallel.dispatch_batch(
+            requests, policy=OptionPolicy.CHEAPEST, shards=shards, workers=workers
+        )
+    finally:
+        parallel.close()
+
+    assert [_outcome_key(o) for o in loop_outcomes] == [
+        _outcome_key(o) for o in pipeline_outcomes
+    ]
+    assert _fleet_state(sequential.fleet) == _fleet_state(parallel.fleet)
+
+    stats = parallel.last_batch_statistics
+    assert stats is not None
+    if workers > 1:
+        # The pool actually served the batch (these backends all export
+        # their arrays), and the IPC/wall accounting is populated.
+        assert stats.parallel_workers == workers
+        assert stats.ipc_seconds >= 0.0
+        assert len(stats.shard_wall_seconds) == shards
+    else:
+        assert stats.parallel_workers == 0
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_worker_counters_fold_back_exactly(workers):
+    """Worker-side matcher/engine counters aggregate to the in-process totals.
+
+    The collect/verify work is deterministic and identically distributed
+    whether it runs locally or in workers, so after folding the per-worker
+    deltas the parent's matcher statistics must equal the in-process
+    pipeline's, and the pipeline-level request accounting must match.
+    """
+    in_process = _build_dispatcher("csr")
+    requests = _burst(in_process)
+    in_process.dispatch_batch(requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=1)
+
+    parallel = _build_dispatcher("csr")
+    try:
+        parallel.dispatch_batch(
+            requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=workers
+        )
+    finally:
+        parallel.close()
+
+    assert parallel.matcher.statistics.as_dict() == in_process.matcher.statistics.as_dict()
+
+
+def test_second_batch_reuses_the_pool():
+    """A dispatcher keeps its pool across batches (one spawn, many batches)."""
+    dispatcher = _build_dispatcher("csr")
+    requests = _burst(dispatcher)
+    try:
+        dispatcher.dispatch_batch(
+            requests[:5], policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+        )
+        pool = dispatcher._pool
+        assert pool is not None and pool.batches_executed == 1
+        dispatcher.dispatch_batch(
+            requests[5:], policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+        )
+        assert dispatcher._pool is pool and pool.batches_executed == 2
+        assert dispatcher.last_batch_statistics.parallel_workers == 2
+    finally:
+        dispatcher.close()

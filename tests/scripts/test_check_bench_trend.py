@@ -29,9 +29,9 @@ RECORDS = [
 class TestAggregation:
     def test_phases_get_their_own_keys(self):
         walls = trend.aggregate_wall_seconds(RECORDS, ["E2", "E14"])
-        assert walls[("E2", "csr", "", "")] == 0.5
-        assert walls[("E14", "ch", "point_queries", "")] == 0.04
-        assert walls[("E14", "ch", "warm_restart", "")] == 0.01
+        assert walls[("E2", "csr", "", "", "")] == 0.5
+        assert walls[("E14", "ch", "point_queries", "", "")] == 0.04
+        assert walls[("E14", "ch", "warm_restart", "", "")] == 0.01
         # a fast disk read can no longer mask a point-query regression:
         # the phases never share an aggregate
         assert ("E14", "ch") not in walls
@@ -45,24 +45,41 @@ class TestAggregation:
         ]
         walls = trend.aggregate_wall_seconds(records, ["E15"])
         # a PHAST regression can never hide behind the faster SciPy plane
-        assert walls[("E15", "ch", "tree_planes", "plane")] == 0.1
-        assert walls[("E15", "ch", "tree_planes", "phast")] == 0.3
+        assert walls[("E15", "ch", "tree_planes", "plane", "")] == 0.1
+        assert walls[("E15", "ch", "tree_planes", "phast", "")] == 0.3
+
+    def test_worker_counts_get_their_own_keys(self):
+        records = [
+            {"experiment": "E16", "routing_backend": "csr", "workers": 1,
+             "wall_seconds": 0.8},
+            {"experiment": "E16", "routing_backend": "csr", "workers": 4,
+             "wall_seconds": 0.3},
+            {"experiment": "E12", "routing_backend": "csr", "wall_seconds": 0.6},
+        ]
+        walls = trend.aggregate_wall_seconds(records, ["E12", "E16"])
+        # a multi-worker run can never mask an in-process regression...
+        assert walls[("E16", "csr", "", "", "4")] == 0.3
+        # ...while workers=1 (the pool bypassed) and workers-absent records
+        # share the historical unnamed group, keeping old baselines comparable
+        assert walls[("E16", "csr", "", "", "")] == 0.8
+        assert walls[("E12", "csr", "", "", "")] == 0.6
 
     def test_skip_phases_drops_only_the_named_phase(self):
         walls = trend.aggregate_wall_seconds(
             RECORDS, ["E14"], skip_phases=["warm_restart"]
         )
-        assert ("E14", "ch", "warm_restart", "") not in walls
-        assert ("E14", "ch", "point_queries", "") in walls
-        assert ("E14", "ch", "dispatch", "") in walls
+        assert ("E14", "ch", "warm_restart", "", "") not in walls
+        assert ("E14", "ch", "point_queries", "", "") in walls
+        assert ("E14", "ch", "dispatch", "", "") in walls
 
     def test_describe_labels(self):
-        assert trend.describe(("E2", "csr", "", "")) == "E2 [csr]"
-        assert trend.describe(("E14", "ch", "point_queries", "")) == "E14 [ch:point_queries]"
+        assert trend.describe(("E2", "csr", "", "", "")) == "E2 [csr]"
+        assert trend.describe(("E14", "ch", "point_queries", "", "")) == "E14 [ch:point_queries]"
         assert (
-            trend.describe(("E15", "ch", "tree_planes", "phast"))
+            trend.describe(("E15", "ch", "tree_planes", "phast", ""))
             == "E15 [ch:tree_planes@phast]"
         )
+        assert trend.describe(("E16", "csr", "", "", "4")) == "E16 [csr w4]"
 
 
 class TestMain:
@@ -103,3 +120,25 @@ class TestMain:
         assert by_key[("E14", "ch", "point_queries")]["phase"] == "point_queries"
         assert "tree_provider" not in by_key[("E2", "csr", "")]
         assert all(r["commit"] == "abc123" for r in rows)
+
+    def test_archive_writes_workers_field(self, tmp_path, capsys):
+        records = [
+            {"experiment": "E16", "routing_backend": "csr", "workers": 4,
+             "wall_seconds": 0.3},
+            {"experiment": "E16", "routing_backend": "csr", "workers": 1,
+             "wall_seconds": 0.8},
+        ]
+        baseline = self._write(tmp_path / "baseline.json", records)
+        fresh = self._write(tmp_path / "fresh.json", records)
+        trajectory = tmp_path / "trajectory.jsonl"
+        code = trend.main([
+            "--baseline", baseline, "--fresh", fresh,
+            "--experiments", "E16", "--archive",
+            "--trajectory", str(trajectory), "--commit", "abc123",
+        ])
+        assert code == 0
+        rows = [json.loads(line) for line in trajectory.read_text().splitlines()]
+        by_workers = {r.get("workers"): r for r in rows}
+        assert by_workers[4]["wall_seconds"] == 0.3
+        # the workers=1 aggregate is the historical unnamed group: no field
+        assert by_workers[None]["wall_seconds"] == 0.8
