@@ -23,7 +23,11 @@ absent *or 1* share the unnamed group: one worker means the pool was
 bypassed and the measurement is the same in-process pipeline the historical
 records timed, so the committed baseline stays comparable.  ``--skip-phases`` drops named phases from the *comparison*
 (never from archiving) for measurements too noise-dominated to gate on,
-such as warm-restart disk reads.  Two aggregates are offered:
+such as warm-restart disk reads.  ``--rate-phases`` names phases whose
+``wall_seconds`` field actually holds a *rate* (E17's serving throughput in
+req/s): for those, higher is better, so the regression ratio is inverted --
+a throughput drop beyond the threshold fails just like a wall-time rise
+does elsewhere.  Two aggregates are offered:
 
 * ``min`` (default) -- "how fast can this experiment go on this machine";
   the most noise-tolerant choice when each side holds a single run.
@@ -206,6 +210,13 @@ def main(argv: List[str] | None = None) -> int:
         "archived); e.g. warm_restart, whose wall is a page-cache lottery",
     )
     parser.add_argument(
+        "--rate-phases", nargs="*", default=[],
+        help="record phases whose wall_seconds holds a *rate* (e.g. req/s), "
+        "where higher is better: the regression ratio is inverted "
+        "(baseline/fresh) so a throughput drop trips the threshold; "
+        "within-key reduction still uses --aggregate on both sides",
+    )
+    parser.add_argument(
         "--archive", action="store_true",
         help="append the fresh aggregates (every experiment present, all "
         "backends) to the trajectory file, stamped with the current commit",
@@ -243,13 +254,21 @@ def main(argv: List[str] | None = None) -> int:
         print(f"{describe(key)}: no {side} record -- skipped")
 
     failures = []
+    rate_phases = set(args.rate_phases)
     for key in compared:
         before, after = baseline[key], fresh[key]
-        ratio = after / before if before > 0 else float("inf")
+        if key[2] in rate_phases:
+            # the recorded value is a rate: a drop (after < before) is the
+            # regression, so the ratio is inverted relative to wall times
+            ratio = before / after if after > 0 else float("inf")
+            unit = "/s"
+        else:
+            ratio = after / before if before > 0 else float("inf")
+            unit = "s"
         verdict = "OK" if ratio <= 1.0 + args.threshold else "REGRESSED"
         print(
-            f"{describe(key)}: baseline {before:.4f}s -> fresh {after:.4f}s "
-            f"({ratio:.2f}x) {verdict}"
+            f"{describe(key)}: baseline {before:.4f}{unit} -> fresh "
+            f"{after:.4f}{unit} ({ratio:.2f}x) {verdict}"
         )
         if verdict == "REGRESSED":
             failures.append(describe(key))

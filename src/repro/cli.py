@@ -111,6 +111,25 @@ def build_parser() -> argparse.ArgumentParser:
         "collect/verify stage out to (shared-memory pool; 1 keeps everything "
         "in-process, results are byte-identical either way)",
     )
+    simulate.add_argument(
+        "--batch-window", type=float, default=1.0,
+        help="seconds the serving micro-batcher lets a window accumulate "
+        "before flushing it through the batch pipeline",
+    )
+    simulate.add_argument(
+        "--max-batch-size", type=int, default=512,
+        help="request count that force-closes a micro-batch window early",
+    )
+    simulate.add_argument(
+        "--queue-capacity", type=int, default=0,
+        help="bound on admitted-but-unanswered requests the micro-batcher "
+        "may hold (0 = unbounded)",
+    )
+    simulate.add_argument(
+        "--queue-policy", choices=("shed", "block"), default="shed",
+        help="what a full ingest queue does with the next admission: shed "
+        "refuses it, block flushes the pending window inline to free capacity",
+    )
 
     compare = subparsers.add_parser("compare", help="compare matcher work on one request burst")
     compare.add_argument("--vehicles", type=int, default=60, help="fleet size")
@@ -218,6 +237,9 @@ def _run_simulate(args: argparse.Namespace) -> int:
         routing_backend=args.routing, routing_cache_dir=args.routing_cache,
         tree_provider=args.tree_provider, match_shards=args.shards,
         dispatch_workers=args.workers,
+        batch_window=args.batch_window, max_batch_size=args.max_batch_size,
+        queue_capacity=args.queue_capacity or None,
+        queue_policy=args.queue_policy,
     )
     matcher = {
         "single_side": SingleSideSearchMatcher,

@@ -75,6 +75,13 @@ class BatchStatistics:
     prefetch_seconds: float = 0.0
     #: name of the tree provider the prefetch work was billed to
     tree_provider: str = "dijkstra"
+    #: fleet-side leg sources (vehicle locations + committed stops) whose
+    #: trees were folded into the one-shot prefetch plane (0 = legs not
+    #: prefetched; the serving path's ingest flush turns this on)
+    leg_sources_prefetched: int = 0
+    #: exact leg queries answered from a prefetched leg tree instead of a
+    #: cold single-source engine computation
+    leg_tree_hits: int = 0
     #: worker processes the collect/verify stage fanned out to (0 = in-process)
     parallel_workers: int = 0
     #: wall seconds this batch lost to cross-process shipping (payload
@@ -106,6 +113,8 @@ class BatchStatistics:
             "shared_tree_hit_rate": self.shared_tree_hit_rate,
             "prefetched_trees": float(self.prefetched_trees),
             "prefetch_seconds": self.prefetch_seconds,
+            "leg_sources_prefetched": float(self.leg_sources_prefetched),
+            "leg_tree_hits": float(self.leg_tree_hits),
             "tree_provider": self.tree_provider,
             "parallel_workers": float(self.parallel_workers),
             "ipc_seconds": self.ipc_seconds,
@@ -130,10 +139,25 @@ class BatchMatchContext(MatchContext):
     The memo stores the engine's own answers verbatim (the engine roots every
     point query canonically), so batched verifications see bit-for-bit the
     floats a per-request context would.
+
+    ``leg_trees`` optionally extends the pool to *fleet-side* sources
+    (vehicle locations, committed schedule stops) prefetched into the same
+    vectorised plane as the start trees.  A memo miss whose canonical root
+    (the smaller vertex id -- exactly the root ``RoutingEngine.distance``
+    picks) has a prefetched tree is answered from that pinned row instead of
+    falling back to a cold single-source engine computation; the rows obey
+    the tree-provider bit-identity contract, so the answers are the engine's
+    own floats.  Lookups that cannot be answered from the plane (unknown or
+    unreachable leaf, root not prefetched) fall back to the engine verbatim,
+    preserving its exact error behaviour.
     """
 
     #: batch-wide exact-distance memo shared by every context of the batch
     shared_distances: Dict[Tuple[VertexId, VertexId], float] = field(default_factory=dict)
+    #: prefetched trees rooted at fleet-side leg sources, shared batch-wide
+    leg_trees: Mapping[VertexId, Mapping[VertexId, float]] = field(default_factory=dict)
+    #: statistics sink for ``leg_tree_hits`` (shared by the whole batch)
+    batch_statistics: Optional[BatchStatistics] = None
 
     def distance(self, source: VertexId, target: VertexId) -> float:
         """Exact distance; start-rooted legs from the pinned tree, others memoised."""
@@ -145,7 +169,15 @@ class BatchMatchContext(MatchContext):
         key = (source, target) if source <= target else (target, source)
         value = self.shared_distances.get(key)
         if value is None:
-            value = self.engine.distance(source, target)
+            if self.leg_trees:
+                root, leaf = key  # key is already rooted at the smaller id
+                tree = self.leg_trees.get(root)
+                if tree is not None:
+                    value = tree.get(leaf)
+                    if value is not None and self.batch_statistics is not None:
+                        self.batch_statistics.leg_tree_hits += 1
+            if value is None:
+                value = self.engine.distance(source, target)
             self.shared_distances[key] = value
         return value
 
@@ -179,6 +211,7 @@ class BatchContext:
         engine: RoutingEngine,
         grid: GridIndex,
         prefetch: bool = True,
+        leg_sources: Optional[Sequence[VertexId]] = None,
     ) -> "BatchContext":
         """Pool trees and direct distances for ``requests`` (in order).
 
@@ -192,6 +225,16 @@ class BatchContext:
         failures are recorded per request, not raised -- ``prefetch_trees``
         skips unknown start vertices, so the per-request path still observes
         the exact error the sequential loop would have raised.
+
+        ``leg_sources`` optionally folds *fleet-side* vertices (vehicle
+        locations, committed schedule stops) into the same one-shot prefetch
+        plane; the resulting trees are shared by every context's
+        ``leg_trees`` so schedule-leg verification queries hit a pinned row
+        instead of recomputing cold single-source trees under engine-cache
+        pressure.  Purely a performance hint: answers and errors are
+        bit-identical with or without it (only sources the engine's bulk
+        path actually resolves are consulted, and every unresolvable lookup
+        falls back to the engine).
 
         Memory: the pool holds one O(V) tree per distinct start vertex of the
         batch -- the price of immunity to engine cache eviction.  The pool
@@ -213,10 +256,33 @@ class BatchContext:
 
         prefetch_share = 0.0
         unbilled_prefetches: set = set()
+        leg_trees: Mapping[VertexId, Mapping[VertexId, float]] = {}
         if prefetch and requests:
             distinct_starts = list(dict.fromkeys(request.start for request in requests))
             started = time.perf_counter()
-            trees.update(engine.prefetch_trees(distinct_starts))
+            if leg_sources:
+                start_set = set(distinct_starts)
+                extra = [
+                    vertex
+                    for vertex in dict.fromkeys(leg_sources)
+                    if vertex not in start_set
+                ]
+                pooled = engine.prefetch_trees(distinct_starts + extra)
+                # Start trees feed the per-request contexts below; the whole
+                # pooled plane (starts included -- a leg query may root at a
+                # vertex that happens to be some request's start) answers
+                # schedule-leg queries.
+                trees.update(
+                    (vertex, pooled[vertex])
+                    for vertex in distinct_starts
+                    if vertex in pooled
+                )
+                leg_trees = pooled
+                statistics.leg_sources_prefetched = sum(
+                    1 for vertex in extra if vertex in pooled
+                )
+            else:
+                trees.update(engine.prefetch_trees(distinct_starts))
             statistics.prefetch_seconds = time.perf_counter() - started
             statistics.prefetched_trees = len(trees)
             if trees:
@@ -262,6 +328,8 @@ class BatchContext:
                 direct=direct,
                 start_tree=tree,
                 shared_distances=shared_distances,
+                leg_trees=leg_trees,
+                batch_statistics=statistics,
             )
         return cls(requests, contexts, errors, statistics, seconds)
 

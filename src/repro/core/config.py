@@ -79,6 +79,26 @@ class SystemConfig:
             immutable arrays through shared memory, so results stay
             byte-identical to the sequential path at any value.  ``1``
             keeps everything in-process.
+        batch_window: how long the serving path's micro-batcher
+            (:class:`repro.service.ingest.MicroBatcher`) lets a window
+            accumulate before flushing it through the batch pipeline, in
+            the same time units as request submit times (simulated seconds
+            under replay, wall seconds live).  A window closes when this
+            much time has passed since its first admission *or* when it
+            reaches ``max_batch_size``, whichever comes first.
+        max_batch_size: request count that force-closes a micro-batch
+            window early.
+        queue_capacity: bound on requests the micro-batcher may hold
+            admitted-but-unanswered (the current window plus any backlog).
+            ``None`` means unbounded -- acceptable for offline replay,
+            never for serving.  With a bound, admissions beyond capacity
+            follow ``queue_policy``.
+        queue_policy: what a full queue does with the next admission:
+            "shed" refuses it (counted and reported; the caller sees an
+            explicit rejection), "block" flushes the pending window inline
+            to free capacity before admitting (trades admission latency
+            for acceptance).  Either way the queue never grows beyond
+            ``queue_capacity``.
     """
 
     vehicle_capacity: int = 4
@@ -94,8 +114,13 @@ class SystemConfig:
     routing_cache_dir: Optional[str] = None
     match_shards: int = 1
     dispatch_workers: int = 1
+    batch_window: float = 1.0
+    max_batch_size: int = 512
+    queue_capacity: Optional[int] = None
+    queue_policy: str = "shed"
 
     _VALID_MATCHERS = ("single_side", "dual_side", "naive")
+    _VALID_QUEUE_POLICIES = ("shed", "block")
 
     def __post_init__(self) -> None:
         if self.vehicle_capacity < 1:
@@ -133,6 +158,23 @@ class SystemConfig:
         if self.dispatch_workers < 1:
             raise ConfigurationError(
                 f"dispatch_workers must be >= 1, got {self.dispatch_workers}"
+            )
+        if self.batch_window <= 0:
+            raise ConfigurationError(
+                f"batch_window must be positive, got {self.batch_window}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1 or None, got {self.queue_capacity}"
+            )
+        if self.queue_policy not in self._VALID_QUEUE_POLICIES:
+            raise ConfigurationError(
+                f"queue_policy must be one of {self._VALID_QUEUE_POLICIES}, "
+                f"got {self.queue_policy!r}"
             )
 
     def with_updates(self, **changes: object) -> "SystemConfig":

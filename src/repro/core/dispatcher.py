@@ -53,6 +53,7 @@ from repro.core.parallel import ParallelDispatchPool
 from repro.errors import MatchingError, NoMatchError, UnknownOptionError
 from repro.model.options import RideOption, Skyline
 from repro.model.request import Request
+from repro.roadnet.graph import VertexId
 from repro.vehicles.fleet import Fleet
 from repro.vehicles.schedule import evaluate_schedule
 
@@ -320,6 +321,7 @@ class Dispatcher:
         on_outcome: Optional[Callable[[DispatchOutcome], None]] = None,
         prefetch: bool = True,
         workers: Optional[int] = None,
+        prefetch_legs: bool = False,
     ) -> List[DispatchOutcome]:
         """Greedy handling of simultaneous requests as a staged pipeline.
 
@@ -357,8 +359,20 @@ class Dispatcher:
                 stay on this process, so outcomes are byte-identical at any
                 worker count, and any pool failure falls back to in-process
                 execution mid-batch without changing a single option.
+            prefetch_legs: fold the fleet's leg sources (vehicle locations
+                plus committed schedule stops) into the prefetch plane so
+                schedule-leg verification queries are answered from pinned
+                rows instead of cold single-source trees.  Off by default:
+                the plane costs one tree per fleet-side source, which only
+                amortises when the window carries many requests relative to
+                the fleet -- the micro-batched serving path
+                (:class:`repro.service.ingest.MicroBatcher`) turns it on.
+                Purely a performance hint; outcomes are byte-identical
+                either way.
         """
-        prepared = self._prepare_batch(requests, apply_global_constraints, shards, prefetch)
+        prepared = self._prepare_batch(
+            requests, apply_global_constraints, shards, prefetch, prefetch_legs
+        )
         if prepared is None:
             return []
         request_list, batch, views = prepared
@@ -439,6 +453,7 @@ class Dispatcher:
         apply_global_constraints: bool,
         shards: Optional[int],
         prefetch: bool = True,
+        prefetch_legs: bool = False,
     ) -> Optional[Tuple[List[Request], BatchContext, List[object]]]:
         """Shared batch prelude: normalise, validate shards, pool contexts.
 
@@ -454,8 +469,18 @@ class Dispatcher:
             raise MatchingError(f"shard count must be >= 1, got {shard_count}")
         if not self._matcher.supports_sharding:
             shard_count = 1
+        leg_sources: Optional[List[VertexId]] = None
+        if prefetch_legs and prefetch:
+            leg_sources = []
+            for vehicle in self._fleet.vehicles():
+                leg_sources.append(vehicle.location)
+                leg_sources.extend(vehicle.kinetic_tree.stop_vertices())
         batch = BatchContext.create(
-            request_list, self._fleet.routing_engine, self._fleet.grid, prefetch=prefetch
+            request_list,
+            self._fleet.routing_engine,
+            self._fleet.grid,
+            prefetch=prefetch,
+            leg_sources=leg_sources,
         )
         self.last_batch_statistics = batch.statistics
         return request_list, batch, self._fleet.shard_views(shard_count)

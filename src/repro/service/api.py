@@ -38,7 +38,7 @@ from repro.baselines.nearest import NearestVehicleMatcher
 from repro.baselines.sharek import SharekStyleMatcher
 from repro.baselines.tshare import TShareStyleMatcher
 from repro.core.config import SystemConfig
-from repro.core.dispatcher import Dispatcher
+from repro.core.dispatcher import DispatchOutcome, Dispatcher
 from repro.core.dual_side import DualSideSearchMatcher
 from repro.core.matcher import Matcher
 from repro.core.naive import NaiveKineticTreeMatcher
@@ -50,6 +50,7 @@ from repro.roadnet.generators import grid_network
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.grid_index import GridIndex
 from repro.roadnet.routing import ROUTING_BACKENDS, TREE_PROVIDERS, make_engine
+from repro.service.ingest import MicroBatcher, batcher_from_config
 from repro.sim.engine import SimulationEngine
 from repro.sim.workload import RequestWorkload
 from repro.vehicles.fleet import Fleet
@@ -118,6 +119,20 @@ class PTRiderService:
         )
         self._bookings: Dict[str, Booking] = {}
         self._booking_counter = itertools.count(1)
+        self._ingest_answered: List[Booking] = []
+        self._batcher = self._build_batcher()
+
+    def _build_batcher(self) -> MicroBatcher:
+        # The batcher's default clock is the service's simulated time (the
+        # same clock request submit times are stamped with), so
+        # ``batch_window`` counts the seconds :meth:`advance` moves; replay
+        # and live callers can still pass an explicit ``now`` per call.
+        return batcher_from_config(
+            self._dispatcher,
+            self._config,
+            clock=lambda: self._engine.time,
+            on_outcome=self._record_ingest_outcome,
+        )
 
     # ------------------------------------------------------------------
     # plumbing
@@ -169,14 +184,26 @@ class PTRiderService:
         The global maximum waiting time and service constraint are applied,
         exactly as the demo does for requests coming from the smartphone UI.
         """
-        request = Request(
-            start=start,
-            destination=destination,
-            riders=riders,
-            max_waiting=self._config.max_waiting,
-            service_constraint=self._config.service_constraint,
-            submit_time=self._engine.time,
+        return self.book_request(
+            Request(
+                start=start,
+                destination=destination,
+                riders=riders,
+                max_waiting=self._config.max_waiting,
+                service_constraint=self._config.service_constraint,
+                submit_time=self._engine.time,
+            )
         )
+
+    def book_request(self, request: Request) -> Booking:
+        """Book a fully specified :class:`~repro.model.request.Request`.
+
+        The per-request serving path: one matcher invocation against the
+        current fleet state, options returned immediately.  Replay harnesses
+        use this (rather than :meth:`book`) so the *same* request objects --
+        ids included -- can be driven through both the per-request loop and
+        the micro-batched ingest path and their outcomes compared verbatim.
+        """
         started = time.perf_counter()
         options = self._dispatcher.submit(request)
         elapsed = time.perf_counter() - started
@@ -188,6 +215,98 @@ class PTRiderService:
         )
         self._bookings[booking.booking_id] = booking
         return booking
+
+    # ------------------------------------------------------------------
+    # micro-batched ingest (the high-throughput serving path)
+    # ------------------------------------------------------------------
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The micro-batcher behind :meth:`ingest` (exposed for benchmarks)."""
+        return self._batcher
+
+    def ingest(self, start: int, destination: int, riders: int = 1) -> bool:
+        """Admit a trip into the micro-batched serving path.
+
+        Unlike :meth:`book`, the answer is *deferred*: the request joins the
+        current ingest window and is answered -- booked, and committed to
+        the cheapest option -- when the window flushes (``batch_window``
+        elapsed, ``max_batch_size`` reached, or an explicit
+        :meth:`pump` / :meth:`drain`).  Returns ``True`` when admitted,
+        ``False`` when a full queue shed it (``queue_capacity`` +
+        ``queue_policy="shed"``).
+        """
+        return self.ingest_request(
+            Request(
+                start=start,
+                destination=destination,
+                riders=riders,
+                max_waiting=self._config.max_waiting,
+                service_constraint=self._config.service_constraint,
+                submit_time=self._engine.time,
+            )
+        )
+
+    def ingest_request(self, request: Request, now: Optional[float] = None) -> bool:
+        """Admit a fully specified request into the micro-batched path.
+
+        ``now`` overrides the batcher's clock reading for this admission
+        (replay harnesses pass simulated time).  Returns ``True`` when
+        admitted, ``False`` when shed by backpressure.
+        """
+        return self._batcher.submit(request, now=now)
+
+    def pump(self, now: Optional[float] = None) -> List[Booking]:
+        """Flush the ingest window if its ``batch_window`` has elapsed.
+
+        Drive this from the serving loop (the replay harness calls it every
+        tick; :meth:`advance` calls it implicitly through simulated time
+        only when you wire it yourself -- pumping is the caller's cadence
+        decision, not the simulation's).  Returns the bookings answered
+        since the previous pump/drain, in submission order -- including
+        any answered by windows that ``max_batch_size`` closed inline at
+        admission time.
+        """
+        self._batcher.pump(now=now)
+        answered, self._ingest_answered = self._ingest_answered, []
+        return answered
+
+    def drain(self, now: Optional[float] = None) -> List[Booking]:
+        """Force-flush the pending ingest window (shutdown / reconfigure)."""
+        self._batcher.flush(now=now)
+        answered, self._ingest_answered = self._ingest_answered, []
+        return answered
+
+    def _record_ingest_outcome(self, outcome: DispatchOutcome) -> None:
+        """Book one flushed outcome (mirrors the per-request bookkeeping).
+
+        The batch pipeline already committed the chosen option, so the
+        booking arrives closed (or open with zero options when unmatched)
+        and the statistics panel records the submission exactly as
+        :meth:`choose` / :meth:`cancel` would have.
+        """
+        booking = Booking(
+            booking_id=f"B{next(self._booking_counter)}",
+            request=outcome.request,
+            options=tuple(outcome.options),
+            chosen=outcome.chosen,
+            response_seconds=outcome.match_seconds,
+        )
+        self._bookings[booking.booking_id] = booking
+        self._ingest_answered.append(booking)
+        chosen = outcome.chosen
+        self._engine.statistics.record_submission(
+            request_id=outcome.request.request_id,
+            submit_time=outcome.request.submit_time,
+            option_count=len(outcome.options),
+            response_seconds=outcome.match_seconds,
+            matched=chosen is not None,
+            planned_pickup_distance=chosen.pickup_distance if chosen else 0.0,
+            direct_distance=outcome.direct_distance,
+        )
+        if chosen is not None:
+            self._engine.register_assignment(
+                outcome.request.request_id, chosen.vehicle_id, chosen.pickup_distance
+            )
 
     def book_batch(self, trips: Sequence[Tuple[int, ...]]) -> List[Booking]:
         """Batch-submit flow: one booking per ``(start, destination[, riders])``.
@@ -290,6 +409,30 @@ class PTRiderService:
     def booking(self, booking_id: str) -> Booking:
         """Return a booking by id."""
         return self._get_booking(booking_id)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the service's runtime resources.
+
+        Drains the ingest window (no admitted request is silently dropped)
+        and closes the dispatcher -- which shuts down the shared-memory
+        worker pool and its segments when ``dispatch_workers > 1``.  Before
+        this existed only :meth:`set_parameters` closed the outgoing
+        dispatcher, so scripts building a multi-worker service leaked the
+        pool until garbage collection.  Idempotent (the dispatcher's close
+        is); the service remains usable afterwards -- a later dispatch
+        simply reacquires its pool.
+        """
+        self._batcher.flush()
+        self._dispatcher.close()
+
+    def __enter__(self) -> "PTRiderService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # time
@@ -395,6 +538,12 @@ class PTRiderService:
         payload["ipc_seconds"] = (
             float(batch_stats.ipc_seconds) if batch_stats is not None else 0.0
         )
+        # The micro-batched serving path: admissions, sheds, queue depth,
+        # window fill, serving throughput and the admission-to-answer
+        # latency tail (nearest-rank p50/p95/p99).
+        payload["ingest_queue_depth"] = float(self._batcher.pending)
+        for key, value in self._batcher.statistics.as_dict().items():
+            payload[f"ingest_{key}"] = value
         return payload
 
     def set_parameters(
@@ -409,6 +558,10 @@ class PTRiderService:
         tree_provider: Optional[str] = None,
         match_shards: Optional[int] = None,
         dispatch_workers: Optional[int] = None,
+        batch_window: Optional[float] = None,
+        max_batch_size: Optional[int] = None,
+        queue_capacity: Optional[int] = None,
+        queue_policy: Optional[str] = None,
     ) -> SystemConfig:
         """The admin form: update global parameters and/or swap the matcher.
 
@@ -427,6 +580,12 @@ class PTRiderService:
         worker processes the batch pipeline fans the per-shard collect
         stage out to (1 keeps everything in-process); like shards it never
         changes outcomes, only wall time.
+
+        ``batch_window`` / ``max_batch_size`` / ``queue_capacity`` /
+        ``queue_policy`` reconfigure the micro-batched ingest path; the
+        pending window is drained (flushed, never dropped) before the
+        batcher is rebuilt on the new knobs.  ``queue_capacity=0`` removes
+        the bound (maps to ``None``: unbounded).
         """
         changes: Dict[str, object] = {}
         if max_waiting is not None:
@@ -443,6 +602,14 @@ class PTRiderService:
             changes["match_shards"] = match_shards
         if dispatch_workers is not None:
             changes["dispatch_workers"] = dispatch_workers
+        if batch_window is not None:
+            changes["batch_window"] = batch_window
+        if max_batch_size is not None:
+            changes["max_batch_size"] = max_batch_size
+        if queue_capacity is not None:
+            changes["queue_capacity"] = None if queue_capacity == 0 else queue_capacity
+        if queue_policy is not None:
+            changes["queue_policy"] = queue_policy
         if matcher_name is not None:
             if matcher_name not in MATCHER_REGISTRY:
                 raise ConfigurationError(
@@ -498,12 +665,20 @@ class PTRiderService:
             self._matcher = self._build_matcher(matcher_name)
         else:
             self._matcher = self._build_matcher(type(self._matcher).name)
-        # The outgoing dispatcher may own a live worker pool pinned to the
-        # old engine/matcher; release its shared-memory segments before the
-        # replacement takes over.
+        # Drain the ingest window through the *old* dispatcher before it is
+        # replaced: admitted requests must be answered, never dropped by a
+        # reconfiguration.  The outgoing dispatcher may also own a live
+        # worker pool pinned to the old engine/matcher; release its
+        # shared-memory segments before the replacement takes over.
+        self._batcher.flush()
         self._dispatcher.close()
         self._dispatcher = Dispatcher(self._fleet, self._matcher, self._config)
         self._engine._dispatcher = self._dispatcher  # keep the engine on the new dispatcher
+        ingest_statistics = self._batcher.statistics
+        self._batcher = self._build_batcher()
+        # Counters survive the rebuild: the admin panel's ingest series
+        # must stay continuous across a reconfiguration.
+        self._batcher.statistics = ingest_statistics
         return self._config
 
     # ------------------------------------------------------------------
@@ -528,6 +703,10 @@ def build_system(
     routing_cache: Optional[str] = None,
     tree_provider: Optional[str] = None,
     dispatch_workers: Optional[int] = None,
+    batch_window: Optional[float] = None,
+    max_batch_size: Optional[int] = None,
+    queue_capacity: Optional[int] = None,
+    queue_policy: Optional[str] = None,
 ) -> PTRiderService:
     """Build a ready-to-use PTRider system.
 
@@ -549,6 +728,14 @@ def build_system(
         dispatch_workers: worker processes for the batch dispatch pipeline
             (1 keeps dispatch in-process); defaults to the config's
             ``dispatch_workers``.
+        batch_window: micro-batch window length override for the ingest
+            path; defaults to the config's ``batch_window``.
+        max_batch_size: ingest window size cap override; defaults to the
+            config's ``max_batch_size``.
+        queue_capacity: ingest queue bound override (``0`` = unbounded);
+            defaults to the config's ``queue_capacity``.
+        queue_policy: full-queue policy override ("shed" or "block");
+            defaults to the config's ``queue_policy``.
 
     Returns:
         A :class:`PTRiderService` whose fleet is registered and idle.
@@ -565,6 +752,16 @@ def build_system(
         system_config = system_config.with_updates(tree_provider=tree_provider)
     if dispatch_workers is not None and dispatch_workers != system_config.dispatch_workers:
         system_config = system_config.with_updates(dispatch_workers=dispatch_workers)
+    if batch_window is not None and batch_window != system_config.batch_window:
+        system_config = system_config.with_updates(batch_window=batch_window)
+    if max_batch_size is not None and max_batch_size != system_config.max_batch_size:
+        system_config = system_config.with_updates(max_batch_size=max_batch_size)
+    if queue_capacity is not None:
+        bound = None if queue_capacity == 0 else queue_capacity
+        if bound != system_config.queue_capacity:
+            system_config = system_config.with_updates(queue_capacity=bound)
+    if queue_policy is not None and queue_policy != system_config.queue_policy:
+        system_config = system_config.with_updates(queue_policy=queue_policy)
     engine = make_engine(
         network,
         system_config.routing_backend,

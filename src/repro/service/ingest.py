@@ -1,0 +1,372 @@
+"""Micro-batched request ingest: the production serving path.
+
+``PTRiderService.book`` answers one request at a time, which means the
+fastest machinery in the repository -- the staged batch pipeline with its
+vectorised tree prefetch, fleet-plane leg trees, sharded matching and the
+shared-memory worker pool -- was only reachable by callers that hand-assemble
+batches.  :class:`MicroBatcher` closes that gap: incoming requests accumulate
+in a *window* that is flushed through
+:meth:`~repro.core.dispatcher.Dispatcher.dispatch_batch` when either
+
+* ``batch_window`` time units have passed since the window's first
+  admission (time is read from an injectable clock, so replay drives the
+  batcher on simulated time and a live deployment on wall time), or
+* the window reaches ``max_batch_size`` requests,
+
+whichever comes first.  Because the batch pipeline is property-tested
+byte-identical to the sequential greedy loop, micro-batching changes *when*
+work happens but never *what* is answered: every window's outcomes are
+bit-for-bit the outcomes of ``dispatch_batch`` on the same requests.
+
+Backpressure is explicit and bounded.  With ``queue_capacity`` set, an
+admission that would grow the pending window beyond capacity follows
+``queue_policy``:
+
+* ``"shed"`` -- the request is refused (``submit`` returns ``False``), the
+  shed is counted, and the queue stays put;
+* ``"block"`` -- the pending window is flushed inline to free capacity
+  before the request is admitted (in this synchronous model, "blocking" the
+  producer *is* running the consumer), trading admission latency for
+  acceptance.
+
+Either way the pending queue never exceeds ``queue_capacity`` -- the
+property test in ``tests/property/test_ingest_backpressure.py`` drives
+random surge schedules against both policies to pin that invariant.
+
+:class:`IngestStatistics` instruments the path end to end: admissions,
+answers, sheds, window close reasons, queue depth, window fill ratio, and
+per-request admission-to-answer latency (queue wait in clock units plus the
+request's share of in-flush wall time) summarised as nearest-rank
+p50/p95/p99 by :func:`percentiles`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dispatcher import DispatchOutcome, Dispatcher, OptionPolicy
+from repro.errors import ConfigurationError
+from repro.model.request import Request
+
+__all__ = ["MicroBatcher", "IngestStatistics", "percentiles", "batcher_from_config"]
+
+#: Ranks reported by :meth:`IngestStatistics.as_dict`.
+DEFAULT_RANKS = (50, 95, 99)
+
+
+def percentiles(
+    values: Sequence[float], ranks: Sequence[int] = DEFAULT_RANKS
+) -> Dict[str, float]:
+    """Nearest-rank percentiles of ``values`` keyed ``"p<rank>"``.
+
+    The nearest-rank definition: the p-th percentile of ``n`` sorted values
+    is the value at (1-based) position ``ceil(p / 100 * n)`` -- always an
+    actually observed value, never an interpolation, which is the right
+    summary for latency tails (an interpolated p99 can report a latency no
+    request ever experienced).  An empty input returns an empty dict.
+
+    Args:
+        values: the observations (any order).
+        ranks: percentile ranks in (0, 100].
+    """
+    if not values:
+        return {}
+    ordered = sorted(values)
+    count = len(ordered)
+    result: Dict[str, float] = {}
+    for rank in ranks:
+        if not 0 < rank <= 100:
+            raise ConfigurationError(f"percentile rank must be in (0, 100], got {rank}")
+        position = max(1, math.ceil(rank / 100.0 * count))
+        result[f"p{rank}"] = ordered[position - 1]
+    return result
+
+
+@dataclass
+class IngestStatistics:
+    """End-to-end instrumentation of the micro-batched serving path.
+
+    Conservation invariant (checked by the unit and property tests):
+    ``admitted == answered + pending + errored`` at every quiescent point,
+    and ``shed`` counts refused admissions that never entered the queue.
+    """
+
+    #: requests accepted into the pending window
+    admitted: int = 0
+    #: requests answered by a flushed window (outcomes delivered)
+    answered: int = 0
+    #: admissions refused because the queue was full under the "shed" policy
+    shed: int = 0
+    #: requests lost to a mid-flush error (the dispatch raised at their turn)
+    errored: int = 0
+    #: windows flushed because they reached ``max_batch_size``
+    size_closed: int = 0
+    #: windows flushed because ``batch_window`` elapsed
+    window_closed: int = 0
+    #: windows flushed by an explicit ``flush()`` / drain or a "block" admit
+    forced: int = 0
+    #: highest pending-queue depth ever observed
+    peak_queue_depth: int = 0
+    #: wall seconds spent inside ``dispatch_batch`` flushes
+    serving_seconds: float = 0.0
+    #: per-flush window fill ratios (``len(window) / max_batch_size``)
+    window_fills: List[float] = field(default_factory=list)
+    #: per-request admission-to-answer latencies (clock wait + flush wall)
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def flushes(self) -> int:
+        """Windows flushed, whatever closed them."""
+        return self.size_closed + self.window_closed + self.forced
+
+    @property
+    def throughput(self) -> float:
+        """Answered requests per wall second spent serving (0 before any flush)."""
+        if self.serving_seconds <= 0:
+            return 0.0
+        return self.answered / self.serving_seconds
+
+    @property
+    def mean_window_fill(self) -> float:
+        """Mean window fill ratio across flushes (0 before any flush)."""
+        if not self.window_fills:
+            return 0.0
+        return sum(self.window_fills) / len(self.window_fills)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat float dictionary for panels and benchmark records."""
+        payload: Dict[str, float] = {
+            "admitted": float(self.admitted),
+            "answered": float(self.answered),
+            "shed": float(self.shed),
+            "errored": float(self.errored),
+            "flushes": float(self.flushes),
+            "size_closed": float(self.size_closed),
+            "window_closed": float(self.window_closed),
+            "forced": float(self.forced),
+            "peak_queue_depth": float(self.peak_queue_depth),
+            "serving_seconds": self.serving_seconds,
+            "throughput": self.throughput,
+            "mean_window_fill": self.mean_window_fill,
+        }
+        for name, value in percentiles(self.latencies).items():
+            payload[f"latency_{name}"] = value
+        return payload
+
+
+class MicroBatcher:
+    """Accumulate requests into windows and flush them through the batch pipeline.
+
+    Args:
+        dispatcher: the dispatcher whose ``dispatch_batch`` serves flushes.
+        batch_window: clock time a window may accumulate before a
+            :meth:`pump` flushes it (> 0).
+        max_batch_size: request count that force-closes a window at
+            admission time (>= 1).
+        queue_capacity: bound on the pending window; ``None`` = unbounded.
+        queue_policy: ``"shed"`` or ``"block"`` (see the module docstring).
+        policy: the stand-in rider choosing from each skyline.
+        shards: shard-count override forwarded to ``dispatch_batch``.
+        workers: worker-count override forwarded to ``dispatch_batch``.
+        prefetch_legs: fold the fleet's leg sources into each flush's
+            prefetch plane (the serving-path optimisation; on by default).
+        clock: zero-argument callable read at admissions and pumps.
+            Defaults to ``time.monotonic`` (wall time); replay passes
+            simulated time via the ``now`` argument of the public methods
+            instead, which always overrides the clock.
+        on_outcome: optional callback invoked with every answered outcome
+            as its commit lands (the service layer records bookings here).
+    """
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        batch_window: float = 1.0,
+        max_batch_size: int = 512,
+        queue_capacity: Optional[int] = None,
+        queue_policy: str = "shed",
+        policy: OptionPolicy = OptionPolicy.CHEAPEST,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        prefetch_legs: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+        on_outcome: Optional[Callable[[DispatchOutcome], None]] = None,
+    ) -> None:
+        if batch_window <= 0:
+            raise ConfigurationError(f"batch_window must be positive, got {batch_window}")
+        if max_batch_size < 1:
+            raise ConfigurationError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1 or None, got {queue_capacity}"
+            )
+        if queue_policy not in ("shed", "block"):
+            raise ConfigurationError(
+                f"queue_policy must be 'shed' or 'block', got {queue_policy!r}"
+            )
+        self._dispatcher = dispatcher
+        self._batch_window = batch_window
+        self._max_batch_size = max_batch_size
+        self._queue_capacity = queue_capacity
+        self._queue_policy = queue_policy
+        self._policy = policy
+        self._shards = shards
+        self._workers = workers
+        self._prefetch_legs = prefetch_legs
+        self._clock = clock or time.monotonic
+        self._on_outcome = on_outcome
+        self._pending: List[Tuple[Request, float]] = []
+        self._window_opened: Optional[float] = None
+        self.statistics = IngestStatistics()
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet answered (the queue depth)."""
+        return len(self._pending)
+
+    @property
+    def batch_window(self) -> float:
+        return self._batch_window
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._max_batch_size
+
+    @property
+    def queue_capacity(self) -> Optional[int]:
+        return self._queue_capacity
+
+    @property
+    def queue_policy(self) -> str:
+        return self._queue_policy
+
+    def _now(self, now: Optional[float]) -> float:
+        return self._clock() if now is None else now
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, now: Optional[float] = None) -> bool:
+        """Admit ``request`` into the current window.
+
+        Returns ``True`` when the request was admitted (it will be answered
+        by a later flush), ``False`` when a full queue shed it under the
+        "shed" policy.  Under the "block" policy a full queue flushes the
+        pending window inline first, so admission always succeeds.  A window
+        that reaches ``max_batch_size`` flushes immediately.
+        """
+        moment = self._now(now)
+        if (
+            self._queue_capacity is not None
+            and len(self._pending) >= self._queue_capacity
+        ):
+            if self._queue_policy == "shed":
+                self.statistics.shed += 1
+                return False
+            self._flush(moment, "forced")  # block: run the consumer inline
+        if not self._pending:
+            self._window_opened = moment
+        self._pending.append((request, moment))
+        self.statistics.admitted += 1
+        if len(self._pending) > self.statistics.peak_queue_depth:
+            self.statistics.peak_queue_depth = len(self._pending)
+        if len(self._pending) >= self._max_batch_size:
+            self._flush(moment, "size_closed")
+        return True
+
+    def pump(self, now: Optional[float] = None) -> List[DispatchOutcome]:
+        """Flush the window if ``batch_window`` has elapsed since it opened.
+
+        Drive this from the serving loop (every tick under replay, a timer
+        live).  Returns the outcomes the flush answered (empty when the
+        window is still filling or nothing is pending).
+        """
+        moment = self._now(now)
+        if self._pending and self._window_opened is not None:
+            if moment - self._window_opened >= self._batch_window - 1e-12:
+                return self._flush(moment, "window_closed")
+        return []
+
+    def flush(self, now: Optional[float] = None) -> List[DispatchOutcome]:
+        """Force-flush the pending window (drain before shutdown / rebuild)."""
+        moment = self._now(now)
+        if not self._pending:
+            return []
+        return self._flush(moment, "forced")
+
+    # ------------------------------------------------------------------
+    def _flush(self, moment: float, reason: str) -> List[DispatchOutcome]:
+        window = self._pending
+        self._pending = []
+        self._window_opened = None
+        if not window:
+            return []
+        statistics = self.statistics
+        setattr(statistics, reason, getattr(statistics, reason) + 1)
+        statistics.window_fills.append(len(window) / self._max_batch_size)
+        requests = [request for request, _ in window]
+        admit_times = [admitted for _, admitted in window]
+        answered_before = statistics.answered
+        started = time.perf_counter()
+
+        def _answered(outcome: DispatchOutcome) -> None:
+            admit = admit_times[statistics.answered - answered_before]
+            statistics.answered += 1
+            waited = moment - admit
+            if waited < 0.0:
+                waited = 0.0
+            statistics.latencies.append(waited + (time.perf_counter() - started))
+            if self._on_outcome is not None:
+                self._on_outcome(outcome)
+
+        try:
+            outcomes = self._dispatcher.dispatch_batch(
+                requests,
+                policy=self._policy,
+                shards=self._shards,
+                workers=self._workers,
+                prefetch_legs=self._prefetch_legs,
+                on_outcome=_answered,
+            )
+        except Exception:
+            # The dispatch raised at some request's turn: everything before
+            # it was answered (and counted by the callback), the failing
+            # request is lost to the error, and the untouched remainder is
+            # re-queued at the front so no admitted request ever vanishes
+            # silently (conservation: admitted == answered+pending+errored).
+            answered = statistics.answered - answered_before
+            statistics.errored += 1
+            remainder = window[answered + 1 :]
+            if remainder:
+                self._pending = remainder + self._pending
+                self._window_opened = remainder[0][1]
+            statistics.serving_seconds += time.perf_counter() - started
+            raise
+        statistics.serving_seconds += time.perf_counter() - started
+        return outcomes
+
+
+def batcher_from_config(
+    dispatcher: Dispatcher,
+    config,
+    clock: Optional[Callable[[], float]] = None,
+    on_outcome: Optional[Callable[[DispatchOutcome], None]] = None,
+) -> MicroBatcher:
+    """Build a :class:`MicroBatcher` from a :class:`~repro.core.config.SystemConfig`.
+
+    Reads ``batch_window`` / ``max_batch_size`` / ``queue_capacity`` /
+    ``queue_policy`` (plus the dispatch worker knob, which
+    ``dispatch_batch`` already defaults from the same config), so the
+    service layer and the admin form stay the single source of truth.
+    """
+    return MicroBatcher(
+        dispatcher,
+        batch_window=config.batch_window,
+        max_batch_size=config.max_batch_size,
+        queue_capacity=config.queue_capacity,
+        queue_policy=config.queue_policy,
+        clock=clock,
+        on_outcome=on_outcome,
+    )

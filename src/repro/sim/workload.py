@@ -12,15 +12,22 @@ objects with submission times.  Workloads are built
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.model.request import Request
 from repro.roadnet.graph import RoadNetwork
-from repro.sim.trips import TripRecord
+from repro.sim.trips import DailyDemandProfile, TripRecord
 
-__all__ = ["RequestWorkload", "poisson_arrival_times", "requests_from_trips", "random_requests"]
+__all__ = [
+    "RequestWorkload",
+    "poisson_arrival_times",
+    "nonhomogeneous_poisson_arrival_times",
+    "requests_from_trips",
+    "random_requests",
+]
 
 
 def poisson_arrival_times(
@@ -47,6 +54,47 @@ def poisson_arrival_times(
         if current > duration:
             break
         times.append(current)
+    return times
+
+
+def nonhomogeneous_poisson_arrival_times(
+    rate_fn: Callable[[float], float],
+    max_rate: float,
+    duration: float,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """Arrival times of a nonhomogeneous Poisson process by thinning.
+
+    Candidate arrivals are generated at the envelope ``max_rate`` and each
+    kept with probability ``rate_fn(t) / max_rate`` -- the classic Lewis &
+    Shedler construction, which is what gives a replayed day its surge and
+    lull structure instead of a flat arrival stream.
+
+    Args:
+        rate_fn: instantaneous arrival rate at time ``t`` (must never exceed
+            ``max_rate`` on ``[0, duration]``).
+        max_rate: envelope rate used for the candidate stream (> 0).
+        duration: length of the observation window.
+        rng: random generator (a fresh unseeded one is used when omitted).
+    """
+    if max_rate <= 0:
+        raise ConfigurationError(f"max_rate must be positive, got {max_rate}")
+    if duration < 0:
+        raise ConfigurationError(f"duration must be non-negative, got {duration}")
+    generator = rng or random.Random()
+    times: List[float] = []
+    current = 0.0
+    while True:
+        current += generator.expovariate(max_rate)
+        if current > duration:
+            break
+        rate = rate_fn(current)
+        if rate < 0 or rate > max_rate:
+            raise ConfigurationError(
+                f"rate_fn({current}) = {rate} outside the envelope [0, {max_rate}]"
+            )
+        if generator.random() * max_rate < rate:
+            times.append(current)
     return times
 
 
@@ -198,6 +246,114 @@ class RequestWorkload:
                     max_waiting=max_waiting,
                     service_constraint=service_constraint,
                     request_id=f"P{index}",
+                    submit_time=submit,
+                )
+            )
+        return cls(requests)
+
+    @classmethod
+    def daily(
+        cls,
+        network: RoadNetwork,
+        total: int,
+        duration: float,
+        max_waiting: float,
+        service_constraint: float,
+        profile: Optional[DailyDemandProfile] = None,
+        hotspot_count: int = 0,
+        hotspot_bias: float = 1.0,
+        riders_range: Tuple[int, int] = (1, 2),
+        seed: Optional[int] = None,
+        id_prefix: str = "D",
+    ) -> "RequestWorkload":
+        """A synthetic high-volume day: surge/lull arrivals, hotspot origins.
+
+        Exactly ``total`` requests are generated with arrival times drawn
+        from the demand profile's intensity over ``[0, duration]`` (the
+        replay horizon is mapped onto a 24h day, so the profile's morning
+        and evening peaks become surges of the replay).  Conditioned on the
+        total count, a nonhomogeneous Poisson process's arrival times are
+        exactly i.i.d. draws from the normalised intensity density -- the
+        inverse-CDF sampling used here -- so the stream has the same
+        surge/lull shape as :func:`nonhomogeneous_poisson_arrival_times`
+        while giving benchmarks a deterministic request count.
+
+        With ``hotspot_count > 0``, each origin is drawn from a pool of
+        exactly that many hotspot *vertices* with probability
+        ``hotspot_bias`` (uniformly random otherwise); destinations are
+        always uniform.  Exact-vertex origins are what make a serving
+        window's start trees shareable -- the request-collision structure
+        the micro-batched ingest path amortises.
+
+        Args:
+            network: the road network requests are drawn on.
+            total: number of requests to generate (>= 0).
+            duration: replay horizon the day is compressed into (> 0).
+            max_waiting: per-request waiting budget ``w``.
+            service_constraint: per-request detour tolerance ``epsilon``.
+            profile: daily demand intensity (the default bimodal profile
+                when omitted).
+            hotspot_count: size of the exact-vertex origin pool (0 disables
+                hotspot structure).
+            hotspot_bias: probability an origin comes from the hotspot pool.
+            riders_range: inclusive group-size range.
+            seed: RNG seed (fully deterministic per seed).
+            id_prefix: request-id prefix (ids are ``{prefix}{index}``).
+        """
+        if total < 0:
+            raise ConfigurationError(f"total must be non-negative, got {total}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        if not 0.0 <= hotspot_bias <= 1.0:
+            raise ConfigurationError(
+                f"hotspot_bias must be within [0, 1], got {hotspot_bias}"
+            )
+        if hotspot_count < 0:
+            raise ConfigurationError(
+                f"hotspot_count must be non-negative, got {hotspot_count}"
+            )
+        low, high = riders_range
+        if low < 1 or high < low:
+            raise ConfigurationError(f"invalid riders_range {riders_range}")
+        vertices = network.vertices()
+        if len(vertices) < 2:
+            raise ConfigurationError("the network needs at least two vertices")
+        rng = random.Random(seed)
+        shape = profile or DailyDemandProfile()
+        weights = shape.cumulative_weights()
+        total_weight = weights[-1]
+        hotspots = (
+            rng.sample(vertices, min(hotspot_count, len(vertices)))
+            if hotspot_count
+            else []
+        )
+        bucket_width = duration / len(weights)
+        times: List[float] = []
+        for _ in range(total):
+            pick = rng.random() * total_weight
+            bucket = bisect_left(weights, pick)
+            previous = weights[bucket - 1] if bucket else 0.0
+            span = weights[bucket] - previous
+            fraction = (pick - previous) / span if span > 0 else rng.random()
+            times.append((bucket + fraction) * bucket_width)
+        times.sort()
+        requests: List[Request] = []
+        for index, submit in enumerate(times, 1):
+            if hotspots and rng.random() < hotspot_bias:
+                origin = rng.choice(hotspots)
+            else:
+                origin = rng.choice(vertices)
+            destination = rng.choice(vertices)
+            while destination == origin:
+                destination = rng.choice(vertices)
+            requests.append(
+                Request(
+                    start=origin,
+                    destination=destination,
+                    riders=rng.randint(low, high),
+                    max_waiting=max_waiting,
+                    service_constraint=service_constraint,
+                    request_id=f"{id_prefix}{index}",
                     submit_time=submit,
                 )
             )

@@ -176,3 +176,45 @@ def test_prefetched_batch_equals_sequential_on_vector_backends(scenario, backend
     assert (
         stats.prefetched_trees + stats.shared_tree_hits == len(requests)
     )
+
+
+@given(batch_scenarios(), st.sampled_from(["csr", "table"]))
+@settings(max_examples=16, deadline=None)
+def test_leg_prefetch_equals_sequential_on_busy_fleets(scenario, backend):
+    """``prefetch_legs=True`` folds the fleet's schedule-leg sources (vehicle
+    locations + committed stops) into the batch's prefetch plane.  Like the
+    start-tree plane it is pure restructuring: insertion verification must
+    read exactly the distances the engine would have computed cold, so a
+    busy fleet -- warmed by a first committed burst -- answers a second
+    burst byte-identically to the sequential loop."""
+    blueprint, requests, matcher_name, shards, policy, config = scenario
+    if len(requests) < 2:
+        return
+    warm, burst = requests[: len(requests) // 2], requests[len(requests) // 2 :]
+    sequential = _build_dispatcher(blueprint, matcher_name, config, backend=backend)
+    batched = _build_dispatcher(blueprint, matcher_name, config, backend=backend)
+
+    # identical warm-up commitments give both fleets non-empty schedules,
+    # so the second burst actually exercises the leg-tree lookups
+    sequential.dispatch_sequential(warm, policy=policy)
+    batched.dispatch_sequential(warm, policy=policy)
+
+    loop_outcomes = sequential.dispatch_sequential(burst, policy=policy)
+    pipeline_outcomes = batched.dispatch_batch(
+        burst, policy=policy, shards=shards, prefetch_legs=True
+    )
+
+    assert len(loop_outcomes) == len(pipeline_outcomes)
+    for loop, pipe in zip(loop_outcomes, pipeline_outcomes):
+        assert loop.options == pipe.options
+        assert loop.chosen == pipe.chosen
+    assert _fleet_state(sequential.fleet) == _fleet_state(batched.fleet)
+
+    stats = batched.last_batch_statistics
+    assert stats is not None
+    # leg sources are the prefetched trees beyond the burst's start set
+    assert stats.leg_sources_prefetched >= 0
+    assert stats.leg_tree_hits >= 0
+    payload = stats.as_dict()
+    assert payload["leg_sources_prefetched"] == float(stats.leg_sources_prefetched)
+    assert payload["leg_tree_hits"] == float(stats.leg_tree_hits)

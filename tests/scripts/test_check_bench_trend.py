@@ -121,6 +121,62 @@ class TestMain:
         assert "tree_provider" not in by_key[("E2", "csr", "")]
         assert all(r["commit"] == "abc123" for r in rows)
 
+    def test_rate_phase_drop_is_a_regression(self, tmp_path, capsys):
+        # wall_seconds holds a throughput (req/s) for rate phases: the
+        # fresh side *dropping* must fail, not pass
+        records = [
+            {"experiment": "E17", "routing_backend": "csr", "wall_seconds": 1000.0,
+             "phase": "smoke_throughput"},
+        ]
+        baseline = self._write(tmp_path / "baseline.json", records)
+        dropped = [dict(records[0], wall_seconds=500.0)]
+        fresh = self._write(tmp_path / "fresh.json", dropped)
+        code = trend.main([
+            "--baseline", baseline, "--fresh", fresh,
+            "--experiments", "E17", "--rate-phases", "smoke_throughput",
+        ])
+        out = capsys.readouterr()
+        assert code == 1
+        assert "E17 [csr:smoke_throughput]" in out.err
+        assert "2.00x" in out.out
+        assert "/s" in out.out
+
+    def test_rate_phase_rise_is_fine_and_wall_semantics_are_untouched(self, tmp_path, capsys):
+        records = [
+            {"experiment": "E17", "routing_backend": "csr", "wall_seconds": 1000.0,
+             "phase": "smoke_throughput"},
+            {"experiment": "E17", "routing_backend": "csr", "wall_seconds": 1.4,
+             "phase": "smoke_latency_p95"},
+        ]
+        baseline = self._write(tmp_path / "baseline.json", records)
+        improved = [
+            dict(records[0], wall_seconds=2000.0),  # throughput doubled: OK
+            dict(records[1], wall_seconds=2.9),     # latency doubled: regressed
+        ]
+        fresh = self._write(tmp_path / "fresh.json", improved)
+        code = trend.main([
+            "--baseline", baseline, "--fresh", fresh,
+            "--experiments", "E17", "--rate-phases", "smoke_throughput",
+        ])
+        out = capsys.readouterr()
+        assert code == 1
+        # only the non-rate phase regressed; the doubled rate passed
+        assert "E17 [csr:smoke_latency_p95]" in out.err
+        assert "E17 [csr:smoke_throughput]" not in out.err
+
+    def test_without_rate_phases_a_drop_passes_silently(self, tmp_path, capsys):
+        # guard against accidentally treating every phase as a rate
+        records = [
+            {"experiment": "E17", "routing_backend": "csr", "wall_seconds": 1000.0,
+             "phase": "smoke_throughput"},
+        ]
+        baseline = self._write(tmp_path / "baseline.json", records)
+        fresh = self._write(tmp_path / "fresh.json", [dict(records[0], wall_seconds=500.0)])
+        code = trend.main([
+            "--baseline", baseline, "--fresh", fresh, "--experiments", "E17",
+        ])
+        assert code == 0
+
     def test_archive_writes_workers_field(self, tmp_path, capsys):
         records = [
             {"experiment": "E16", "routing_backend": "csr", "workers": 4,

@@ -9,8 +9,10 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.roadnet.generators import grid_network
 from repro.sim.trips import ShanghaiLikeTripGenerator
+from repro.model.request import Request
 from repro.sim.workload import (
     RequestWorkload,
+    nonhomogeneous_poisson_arrival_times,
     poisson_arrival_times,
     random_requests,
     requests_from_trips,
@@ -131,3 +133,156 @@ class TestRequestWorkload:
         )
         assert all(request.submit_time <= 100.0 for request in workload)
         assert all(request.start != request.destination for request in workload)
+
+
+def _request(request_id: str, submit_time: float) -> Request:
+    return Request(
+        start=0, destination=1, riders=1, max_waiting=5.0,
+        service_constraint=0.2, request_id=request_id, submit_time=submit_time,
+    )
+
+
+class TestDueWindowing:
+    """The windowing semantics the micro-batched ingest queue leans on."""
+
+    def test_empty_window_between_arrivals(self):
+        workload = RequestWorkload([_request("a", 1.0), _request("b", 5.0)])
+        assert [r.request_id for r in workload.due(1.0)] == ["a"]
+        # ticks with no arrivals release nothing, and release nothing again
+        assert workload.due(2.0) == []
+        assert workload.due(4.9) == []
+        assert workload.remaining == 1
+        assert [r.request_id for r in workload.due(5.0)] == ["b"]
+
+    def test_empty_workload_due(self):
+        workload = RequestWorkload([])
+        assert workload.due(100.0) == []
+        assert workload.remaining == 0
+
+    def test_exact_boundary_release_is_inclusive(self):
+        # a request submitted exactly at the tick boundary belongs to that
+        # tick's window, not the next one -- `due` is <=, never <
+        workload = RequestWorkload([_request("edge", 3.0), _request("later", 3.0 + 1e-9)])
+        released = workload.due(3.0)
+        assert [r.request_id for r in released] == ["edge"]
+        assert workload.remaining == 1
+
+    def test_ties_release_together_in_input_order(self):
+        workload = RequestWorkload(
+            [_request("t1", 2.0), _request("t2", 2.0), _request("t3", 2.0)]
+        )
+        assert [r.request_id for r in workload.due(2.0)] == ["t1", "t2", "t3"]
+
+    def test_out_of_order_construction_is_sorted_for_release(self):
+        workload = RequestWorkload(
+            [_request("late", 9.0), _request("early", 1.0), _request("mid", 4.0)]
+        )
+        assert [r.request_id for r in workload.due(5.0)] == ["early", "mid"]
+        assert [r.request_id for r in workload.due(10.0)] == ["late"]
+
+    def test_reset_mid_replay_rewinds_to_the_start(self):
+        workload = RequestWorkload(
+            [_request("a", 1.0), _request("b", 2.0), _request("c", 3.0)]
+        )
+        assert len(workload.due(2.0)) == 2
+        workload.reset()
+        assert workload.remaining == 3
+        # the replay after a mid-stream reset is identical to a fresh one
+        assert [r.request_id for r in workload.due(2.0)] == ["a", "b"]
+        assert [r.request_id for r in workload.due(3.0)] == ["c"]
+        assert workload.remaining == 0
+
+
+class TestNonhomogeneousPoisson:
+    def test_times_within_window_and_sorted(self):
+        times = nonhomogeneous_poisson_arrival_times(
+            lambda t: 0.5 + 0.5 * (t > 50.0), 1.0, 100.0, random.Random(3)
+        )
+        assert all(0 <= t <= 100.0 for t in times)
+        assert times == sorted(times)
+
+    def test_intensity_shapes_arrivals(self):
+        # twice the intensity in the second half => markedly more arrivals
+        times = nonhomogeneous_poisson_arrival_times(
+            lambda t: 2.0 if t > 500.0 else 1.0, 2.0, 1000.0, random.Random(4)
+        )
+        first = sum(1 for t in times if t <= 500.0)
+        second = len(times) - first
+        assert second > 1.5 * first
+
+    def test_flat_rate_matches_homogeneous_construction(self):
+        times = nonhomogeneous_poisson_arrival_times(
+            lambda t: 1.0, 1.0, 500.0, random.Random(5)
+        )
+        # thinning at rate == envelope keeps every candidate
+        assert 400 < len(times) < 600
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            nonhomogeneous_poisson_arrival_times(lambda t: 1.0, 0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            nonhomogeneous_poisson_arrival_times(lambda t: 1.0, 1.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            # rate above the envelope invalidates the thinning construction
+            nonhomogeneous_poisson_arrival_times(
+                lambda t: 5.0, 1.0, 100.0, random.Random(6)
+            )
+
+
+class TestDailyWorkload:
+    def test_exact_count_and_horizon(self, network):
+        workload = RequestWorkload.daily(
+            network, total=500, duration=100.0, max_waiting=8.0,
+            service_constraint=0.6, seed=7,
+        )
+        assert len(workload) == 500
+        times = [r.submit_time for r in workload]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= 100.0 for t in times)
+
+    def test_deterministic_per_seed(self, network):
+        build = lambda: RequestWorkload.daily(
+            network, total=200, duration=50.0, max_waiting=8.0,
+            service_constraint=0.6, hotspot_count=10, seed=8,
+        )
+        a, b = build(), build()
+        assert [(r.start, r.destination, r.submit_time) for r in a] == [
+            (r.start, r.destination, r.submit_time) for r in b
+        ]
+
+    def test_surge_and_lull_structure(self, network):
+        # the default profile is bimodal over the day: the busiest decile of
+        # the horizon must see several times the arrivals of the quietest
+        workload = RequestWorkload.daily(
+            network, total=5000, duration=100.0, max_waiting=8.0,
+            service_constraint=0.6, seed=9,
+        )
+        buckets = [0] * 10
+        for request in workload:
+            buckets[min(9, int(request.submit_time / 10.0))] += 1
+        assert max(buckets) > 3 * min(buckets)
+
+    def test_hotspot_origins_come_from_the_pool(self, network):
+        workload = RequestWorkload.daily(
+            network, total=300, duration=60.0, max_waiting=8.0,
+            service_constraint=0.6, hotspot_count=5, hotspot_bias=1.0, seed=10,
+        )
+        origins = {r.start for r in workload}
+        assert len(origins) <= 5
+        assert all(r.start != r.destination for r in workload)
+
+    def test_invalid_parameters(self, network):
+        with pytest.raises(ConfigurationError):
+            RequestWorkload.daily(network, total=-1, duration=10.0,
+                                  max_waiting=8.0, service_constraint=0.6)
+        with pytest.raises(ConfigurationError):
+            RequestWorkload.daily(network, total=10, duration=0.0,
+                                  max_waiting=8.0, service_constraint=0.6)
+        with pytest.raises(ConfigurationError):
+            RequestWorkload.daily(network, total=10, duration=10.0,
+                                  max_waiting=8.0, service_constraint=0.6,
+                                  hotspot_bias=1.5)
+        with pytest.raises(ConfigurationError):
+            RequestWorkload.daily(network, total=10, duration=10.0,
+                                  max_waiting=8.0, service_constraint=0.6,
+                                  hotspot_count=-1)
