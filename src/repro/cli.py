@@ -74,6 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
         "the fastest correct path; plane/phast force the CSR plane or the "
         "hierarchy-native PHAST sweep for ablation)",
     )
+    demo.add_argument(
+        "--durability", choices=SystemConfig._VALID_DURABILITY, default="off",
+        help="persist live service state: journal records every mutating "
+        "event to a SQLite write-ahead journal, journal+snapshot adds "
+        "periodic state snapshots that bound recovery replay length",
+    )
+    demo.add_argument(
+        "--journal", default=None, metavar="DIR", dest="journal_path",
+        help="journal directory (required when --durability is not off); "
+        "recover a crashed service from it with PTRiderService.recover()",
+    )
+    demo.add_argument(
+        "--snapshot-interval", type=int, default=0, metavar="N",
+        help="journal records between automatic snapshots under "
+        "journal+snapshot (0 keeps the config default)",
+    )
 
     simulate = subparsers.add_parser("simulate", help="run a workload simulation")
     simulate.add_argument("--vehicles", type=int, default=40, help="fleet size")
@@ -195,6 +211,9 @@ def _run_demo(args: argparse.Namespace) -> int:
         routing=args.routing,
         routing_cache=args.routing_cache,
         tree_provider=args.tree_provider,
+        durability=args.durability if args.durability != "off" else None,
+        journal_path=args.journal_path,
+        snapshot_interval=args.snapshot_interval or None,
     )
     rng = random.Random(args.seed)
     vertices = system.fleet.grid.network.vertices()

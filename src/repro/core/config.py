@@ -99,6 +99,21 @@ class SystemConfig:
             to free capacity before admitting (trades admission latency
             for acceptance).  Either way the queue never grows beyond
             ``queue_capacity``.
+        durability: whether (and how) the service persists its live state
+            (see :mod:`repro.service.journal`): "off" keeps everything
+            in memory (state evaporates on a crash), "journal" records
+            every state-mutating event to a SQLite write-ahead journal so
+            :meth:`~repro.service.api.PTRiderService.recover` can replay
+            the full history, "journal+snapshot" additionally writes a
+            periodic state snapshot every ``snapshot_interval`` journal
+            records so recovery replays only the tail after the newest
+            snapshot instead of the whole journal.
+        journal_path: directory holding the durability journal (the SQLite
+            WAL database plus the snapshot files).  Required when
+            ``durability`` is not "off"; ignored otherwise.
+        snapshot_interval: journal records between automatic snapshots
+            under "journal+snapshot" (>= 1).  Smaller values bound
+            recovery replay tighter at the cost of more snapshot writes.
     """
 
     vehicle_capacity: int = 4
@@ -118,9 +133,13 @@ class SystemConfig:
     max_batch_size: int = 512
     queue_capacity: Optional[int] = None
     queue_policy: str = "shed"
+    durability: str = "off"
+    journal_path: Optional[str] = None
+    snapshot_interval: int = 1000
 
     _VALID_MATCHERS = ("single_side", "dual_side", "naive")
     _VALID_QUEUE_POLICIES = ("shed", "block")
+    _VALID_DURABILITY = ("off", "journal", "journal+snapshot")
 
     def __post_init__(self) -> None:
         if self.vehicle_capacity < 1:
@@ -175,6 +194,19 @@ class SystemConfig:
             raise ConfigurationError(
                 f"queue_policy must be one of {self._VALID_QUEUE_POLICIES}, "
                 f"got {self.queue_policy!r}"
+            )
+        if self.durability not in self._VALID_DURABILITY:
+            raise ConfigurationError(
+                f"durability must be one of {self._VALID_DURABILITY}, "
+                f"got {self.durability!r}"
+            )
+        if self.durability != "off" and not self.journal_path:
+            raise ConfigurationError(
+                f"durability={self.durability!r} requires journal_path to be set"
+            )
+        if self.snapshot_interval < 1:
+            raise ConfigurationError(
+                f"snapshot_interval must be >= 1, got {self.snapshot_interval}"
             )
 
     def with_updates(self, **changes: object) -> "SystemConfig":

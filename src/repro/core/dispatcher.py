@@ -145,6 +145,10 @@ class Dispatcher:
         #: (engine id, workers, matcher) combination that failed to start --
         #: remembered so every batch does not re-pay a doomed spawn attempt
         self._pool_disabled_token: Optional[Tuple[int, int, str]] = None
+        #: optional observer invoked with every committed outcome (single
+        #: and batch paths alike) -- the durability journal's annotation
+        #: hook; unlike ``on_outcome`` it is attached once, not per call
+        self.outcome_listener: Optional[Callable[[DispatchOutcome], None]] = None
 
     @property
     def fleet(self) -> Fleet:
@@ -278,22 +282,28 @@ class Dispatcher:
         options = self._matcher.match_context(context)
         elapsed = time.perf_counter() - started
         if not options:
-            return DispatchOutcome(
+            outcome = DispatchOutcome(
                 request=request,
                 options=(),
                 chosen=None,
                 match_seconds=elapsed,
                 direct_distance=context.direct,
             )
+            if self.outcome_listener is not None:
+                self.outcome_listener(outcome)
+            return outcome
         chosen = policy.choose(options)
         self.commit(request, chosen, direct=context.direct)
-        return DispatchOutcome(
+        outcome = DispatchOutcome(
             request=request,
             options=tuple(options),
             chosen=chosen,
             match_seconds=elapsed,
             direct_distance=context.direct,
         )
+        if self.outcome_listener is not None:
+            self.outcome_listener(outcome)
+        return outcome
 
     def dispatch_sequential(
         self,
@@ -436,6 +446,8 @@ class Dispatcher:
                     )
                 batch.release(index)  # free the pooled tree once the turn is over
                 outcomes.append(outcome)
+                if self.outcome_listener is not None:
+                    self.outcome_listener(outcome)
                 if on_outcome is not None:
                     on_outcome(outcome)
         finally:

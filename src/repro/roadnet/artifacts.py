@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import os
 import struct
+import time
 import zipfile
 from pathlib import Path
 from typing import Dict, Mapping, Optional
@@ -51,6 +52,12 @@ __all__ = ["network_fingerprint", "ArtifactCache"]
 
 #: Bytes of the hex digest used in file names (collision-safe at cache scale).
 FINGERPRINT_CHARS = 20
+
+#: How many times :meth:`ArtifactCache.save` retries a failed atomic rename.
+REPLACE_ATTEMPTS = 4
+
+#: First retry backoff in seconds (doubles per attempt; ~0.35 s worst case).
+REPLACE_BACKOFF_SECONDS = 0.05
 
 
 def network_fingerprint(network: RoadNetwork) -> str:
@@ -134,7 +141,18 @@ class ArtifactCache:
     def save(
         self, kind: str, fingerprint: str, arrays: Mapping[str, "object"], params: str = ""
     ) -> Optional[Path]:
-        """Atomically persist an artifact; returns its path (None if disabled)."""
+        """Atomically persist an artifact; returns its path (None if disabled).
+
+        The final rename is retried with exponential backoff
+        (:data:`REPLACE_ATTEMPTS` attempts starting at
+        :data:`REPLACE_BACKOFF_SECONDS`): two processes warming the same
+        cache directory concurrently can collide on the target -- Windows
+        refuses to replace a file another process holds open, and network
+        filesystems surface transient ``EBUSY``/``EACCES`` -- and since
+        both writers produce identical bytes for the same fingerprint, a
+        short wait and a second attempt is the correct resolution, not a
+        lost artifact.
+        """
         if _np is None:
             return None
         target = self.path_for(kind, fingerprint, params)
@@ -146,7 +164,16 @@ class ArtifactCache:
             self.directory.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as handle:
                 _np.savez(handle, **{name: _np.asarray(value) for name, value in arrays.items()})
-            os.replace(tmp, target)
+            backoff = REPLACE_BACKOFF_SECONDS
+            for attempt in range(REPLACE_ATTEMPTS):
+                try:
+                    os.replace(tmp, target)
+                    break
+                except OSError:
+                    if attempt == REPLACE_ATTEMPTS - 1:
+                        raise
+                    time.sleep(backoff)
+                    backoff *= 2
         except OSError:
             try:
                 tmp.unlink(missing_ok=True)

@@ -32,6 +32,7 @@ import itertools
 import random
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.nearest import NearestVehicleMatcher
@@ -49,8 +50,20 @@ from repro.model.request import Request
 from repro.roadnet.generators import grid_network
 from repro.roadnet.graph import RoadNetwork
 from repro.roadnet.grid_index import GridIndex
+from repro.roadnet.io import network_from_dict, network_to_dict
 from repro.roadnet.routing import ROUTING_BACKENDS, TREE_PROVIDERS, make_engine
 from repro.service.ingest import MicroBatcher, batcher_from_config
+from repro.service.journal import ServiceJournal
+from repro.service.recovery import (
+    RecoveryError,
+    deserialize_config,
+    load_snapshot_state,
+    replay_records,
+    restore_state,
+    serialize_config,
+    serialize_request,
+    write_snapshot,
+)
 from repro.sim.engine import SimulationEngine
 from repro.sim.workload import RequestWorkload
 from repro.vehicles.fleet import Fleet
@@ -96,7 +109,13 @@ class PTRiderService:
 
     Args:
         fleet: the vehicle fleet (already registered in a grid index).
-        config: global system parameters.
+        config: global system parameters.  With ``durability`` other than
+            "off" the service opens (or creates) the write-ahead journal at
+            ``config.journal_path``, records the road network / grid shape /
+            config in its metadata, writes a baseline snapshot, and from
+            then on journals every state-mutating call before executing it.
+            A journal directory that already holds state is refused here --
+            use :meth:`recover` to restore it.
         seed: seed for the embedded simulation engine's idle wandering.
     """
 
@@ -105,6 +124,8 @@ class PTRiderService:
         fleet: Fleet,
         config: Optional[SystemConfig] = None,
         seed: Optional[int] = None,
+        _journal: Optional[ServiceJournal] = None,
+        _resume: bool = False,
     ) -> None:
         self._fleet = fleet
         self._config = config or SystemConfig()
@@ -121,6 +142,50 @@ class PTRiderService:
         self._booking_counter = itertools.count(1)
         self._ingest_answered: List[Booking] = []
         self._batcher = self._build_batcher()
+        #: highest journal sequence number already applied to this state
+        #: (idempotence high-water mark for replay)
+        self._applied_seq = 0
+        #: whether mutating calls append journal records (off during replay)
+        self._recording = False
+        #: journal position of the newest snapshot (cadence bookkeeping)
+        self._last_snapshot_seq = 0
+        #: flush outcomes collected during the current command, journaled
+        #: as one annotation record when the command finishes
+        self._outcome_buffer: List[Dict[str, object]] = []
+        self._seed = seed
+        self._journal: Optional[ServiceJournal] = _journal
+        if self._journal is None and self._config.durability != "off":
+            self._journal = ServiceJournal(self._config.journal_path)
+        if self._journal is not None:
+            self._dispatcher.outcome_listener = self._record_outcome_annotation
+            if not _resume:
+                if not self._journal.is_fresh():
+                    raise ServiceError(
+                        f"journal at {self._journal.directory} already holds "
+                        "state; use PTRiderService.recover() to restore it"
+                    )
+                # Metadata makes recover(journal_path) self-contained: the
+                # road network, grid shape and config travel with the log.
+                self._journal.set_meta(
+                    "network", network_to_dict(self._fleet.grid.network)
+                )
+                self._journal.set_meta(
+                    "grid",
+                    {
+                        "rows": self._fleet.grid.rows,
+                        "columns": self._fleet.grid.columns,
+                    },
+                )
+                self._journal.set_meta(
+                    "register_full_paths", self._fleet._register_full_paths
+                )
+                self._journal.set_meta("config", serialize_config(self._config))
+                self._journal.set_meta("seed", seed)
+                # Baseline snapshot at position 0: full-journal replay (and
+                # plain "journal" mode, which never snapshots again) starts
+                # from here.
+                write_snapshot(self._journal, self, 0)
+                self._recording = True
 
     def _build_batcher(self) -> MicroBatcher:
         # The batcher's default clock is the service's simulated time (the
@@ -172,6 +237,210 @@ class PTRiderService:
         return matcher_class(self._fleet, config=self._config)
 
     # ------------------------------------------------------------------
+    # durability (write-ahead journal + snapshots)
+    # ------------------------------------------------------------------
+    @property
+    def journal(self) -> Optional[ServiceJournal]:
+        """The durability journal (``None`` when ``durability="off"``)."""
+        return self._journal
+
+    def _journal_command(self, kind: str, payload: Dict[str, object]) -> None:
+        """Write-ahead: append a command record *before* executing it.
+
+        A crash after the append but before (or during) execution is
+        absorbed by recovery, which re-executes the command to completion;
+        a crash before the append means the call simply never happened.
+        """
+        if self._journal is not None and self._recording:
+            self._outcome_buffer.clear()
+            self._applied_seq = self._journal.append(kind, payload)
+
+    def _finish_command(self) -> None:
+        """Post-command bookkeeping: flush the command's outcome annotation
+        (one record per command, however many outcomes the flush produced)
+        and apply the snapshot cadence under journal+snapshot."""
+        if self._journal is None or not self._recording:
+            return
+        if self._outcome_buffer:
+            self._journal.append("outcome", {"outcomes": self._outcome_buffer})
+            self._outcome_buffer = []
+        self._applied_seq = self._journal.last_seq()
+        if self._config.durability != "journal+snapshot":
+            return
+        if self._applied_seq - self._last_snapshot_seq >= self._config.snapshot_interval:
+            self.snapshot()
+
+    def _record_outcome_annotation(self, outcome: DispatchOutcome) -> None:
+        """Buffer one window-flush outcome for the command's annotation.
+
+        Attached as the dispatcher's ``outcome_listener``; the buffered
+        outcomes land as a single annotation record when the command
+        finishes (a record per outcome would double the journal's append
+        count on the serving hot path).  Recovery never re-executes them,
+        it cross-checks the outcomes its replay re-derives against them
+        (see :mod:`repro.service.recovery`).  A crash before the flush
+        loses only the annotation -- replay tolerates re-deriving more
+        outcomes than were recorded.
+        """
+        if self._journal is not None and self._recording:
+            self._outcome_buffer.append(self._outcome_payload(outcome))
+
+    def _outcome_payload(self, outcome: DispatchOutcome) -> Dict[str, object]:
+        """The deterministic portion of an outcome (no wall-clock fields)."""
+        chosen = outcome.chosen
+        return {
+            "request_id": outcome.request.request_id,
+            "options": [
+                [option.vehicle_id, option.price, option.pickup_distance]
+                for option in outcome.options
+            ],
+            "chosen": (
+                None
+                if chosen is None
+                else [chosen.vehicle_id, chosen.price, chosen.pickup_distance]
+            ),
+            "direct_distance": outcome.direct_distance,
+        }
+
+    def snapshot(self) -> Path:
+        """Write a snapshot of the current state at the journal's position.
+
+        Returns the snapshot file's path.  Called automatically every
+        ``snapshot_interval`` records under ``durability="journal+snapshot"``
+        and available to admin tooling (e.g. right before a planned
+        restart, so recovery replays nothing).
+
+        Raises:
+            ServiceError: when durability is off (there is no journal).
+        """
+        if self._journal is None:
+            raise ServiceError("durability is off; there is no journal to snapshot")
+        seq = self._journal.last_seq()
+        path = write_snapshot(self._journal, self, seq)
+        self._last_snapshot_seq = seq
+        return path
+
+    def _peek_booking_counter(self) -> int:
+        """The next booking number the counter would hand out (not consumed)."""
+        value = next(self._booking_counter)
+        self._booking_counter = itertools.count(value)
+        return value
+
+    def _set_booking_counter(self, value: int) -> None:
+        """Reset the booking counter (snapshot restore)."""
+        self._booking_counter = itertools.count(value)
+
+    @classmethod
+    def _resume_at_snapshot(
+        cls, journal: ServiceJournal, prefer_snapshot: bool = True
+    ) -> Tuple["PTRiderService", int]:
+        """Build a service from the journal's metadata at its newest snapshot.
+
+        The restore half of :meth:`recover`: the road network, grid shape,
+        config and seed come from the journal's metadata; the newest valid
+        snapshot (or the baseline, with ``prefer_snapshot=False``) is
+        restored; recording stays suspended and *no* records are replayed.
+        Returns the service and the snapshot's journal position.  The
+        property suite uses this seam to replay tails in custom orders.
+        """
+        network_payload = journal.get_meta("network")
+        config_payload = journal.get_meta("config")
+        if network_payload is None or config_payload is None:
+            raise RecoveryError(
+                f"journal at {journal.directory} holds no service metadata; "
+                "it was never attached to a durable service"
+            )
+        config = deserialize_config(config_payload)
+        grid_meta = journal.get_meta("grid") or {}
+        network = network_from_dict(network_payload)
+        engine = make_engine(
+            network,
+            config.routing_backend,
+            table_max_vertices=config.table_max_vertices,
+            cache_dir=config.routing_cache_dir,
+            tree_provider=config.tree_provider,
+        )
+        grid = GridIndex(
+            network,
+            rows=int(grid_meta.get("rows", 8)),
+            columns=int(grid_meta.get("columns", 8)),
+        )
+        fleet = Fleet(
+            grid,
+            engine,
+            register_full_paths=bool(journal.get_meta("register_full_paths")),
+        )
+        service = cls(
+            fleet,
+            config=config,
+            seed=journal.get_meta("seed"),
+            _journal=journal,
+            _resume=True,
+        )
+        seq, state = load_snapshot_state(journal, prefer_snapshot=prefer_snapshot)
+        restore_state(service, state)
+        service._applied_seq = seq
+        return service, seq
+
+    @classmethod
+    def recover(
+        cls, journal_path: "Path | str", prefer_snapshot: bool = True
+    ) -> "PTRiderService":
+        """Rebuild a service from its durability journal after a crash.
+
+        The restore + replay flow: read the journal's metadata (road
+        network, grid shape, config, seed), build a fresh service on them
+        with recording suspended, restore the newest *valid* snapshot
+        (corrupt or partial snapshot files fall back to older ones, down
+        to the baseline), re-execute the journal tail past the snapshot in
+        sequence order -- cross-checking re-derived window-flush outcomes
+        against the journaled annotations -- and resume recording.  A torn
+        journal tail (unreadable suffix) is dropped and physically
+        truncated so post-recovery records are never written beyond a hole.
+
+        The recovered state is ``==`` (on serialized state, wall-clock
+        measurements aside) to the pre-crash service: bookings, vehicle
+        schedules, fleet positions and statistics counters included.
+
+        Args:
+            journal_path: the journal directory of the crashed service.
+            prefer_snapshot: with ``False``, ignore periodic snapshots and
+                replay the full journal from the baseline (the ablation arm
+                of the recovery benchmark).
+
+        Raises:
+            RecoveryError: when the journal has no metadata, no usable
+                snapshot, or the replay diverges from the journaled
+                outcomes.
+        """
+        journal = ServiceJournal(journal_path)
+        readable = journal.records()
+        readable_end = readable[-1].seq if readable else 0
+        if journal.truncated_records:
+            # The journal is the source of truth; a torn suffix moves the
+            # durable horizon back to the last readable record.  Drop the
+            # hole for good (new records must never land beyond it) and
+            # discard snapshots past the horizon -- they encode states the
+            # truncated journal can no longer prove, and restoring one
+            # would silently apply the very commands the tear lost.  The
+            # never-pruned baseline guarantees a fallback always remains.
+            journal.truncate_after(readable_end)
+            for snapshot_seq, path in journal.snapshot_files():
+                if snapshot_seq > readable_end:
+                    try:
+                        path.unlink()
+                    except OSError:  # pragma: no cover - fs race
+                        pass
+        service, seq = cls._resume_at_snapshot(journal, prefer_snapshot)
+        replay_records(service, [r for r in readable if r.seq > seq])
+        service._applied_seq = journal.last_seq()
+        service._last_snapshot_seq = max(
+            (s for s, _ in journal.snapshot_files()), default=0
+        )
+        service._recording = True
+        return service
+
+    # ------------------------------------------------------------------
     # smartphone interface
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> List[RideOption]:
@@ -204,6 +473,7 @@ class PTRiderService:
         ids included -- can be driven through both the per-request loop and
         the micro-batched ingest path and their outcomes compared verbatim.
         """
+        self._journal_command("book", {"request": serialize_request(request)})
         started = time.perf_counter()
         options = self._dispatcher.submit(request)
         elapsed = time.perf_counter() - started
@@ -214,6 +484,7 @@ class PTRiderService:
             response_seconds=elapsed,
         )
         self._bookings[booking.booking_id] = booking
+        self._finish_command()
         return booking
 
     # ------------------------------------------------------------------
@@ -253,7 +524,13 @@ class PTRiderService:
         (replay harnesses pass simulated time).  Returns ``True`` when
         admitted, ``False`` when shed by backpressure.
         """
-        return self._batcher.submit(request, now=now)
+        moment = self._engine.time if now is None else now
+        self._journal_command(
+            "admit", {"request": serialize_request(request), "now": moment}
+        )
+        admitted = self._batcher.submit(request, now=moment)
+        self._finish_command()
+        return admitted
 
     def pump(self, now: Optional[float] = None) -> List[Booking]:
         """Flush the ingest window if its ``batch_window`` has elapsed.
@@ -266,14 +543,20 @@ class PTRiderService:
         any answered by windows that ``max_batch_size`` closed inline at
         admission time.
         """
-        self._batcher.pump(now=now)
+        moment = self._engine.time if now is None else now
+        self._journal_command("pump", {"now": moment})
+        self._batcher.pump(now=moment)
         answered, self._ingest_answered = self._ingest_answered, []
+        self._finish_command()
         return answered
 
     def drain(self, now: Optional[float] = None) -> List[Booking]:
         """Force-flush the pending ingest window (shutdown / reconfigure)."""
-        self._batcher.flush(now=now)
+        moment = self._engine.time if now is None else now
+        self._journal_command("drain", {"now": moment})
+        self._batcher.flush(now=moment)
         answered, self._ingest_answered = self._ingest_answered, []
+        self._finish_command()
         return answered
 
     def _record_ingest_outcome(self, outcome: DispatchOutcome) -> None:
@@ -334,6 +617,18 @@ class PTRiderService:
                     submit_time=self._engine.time,
                 )
             )
+        # Journal the *constructed* requests (ids included): request ids are
+        # salted per process, so replay must re-book these exact objects.
+        self._journal_command(
+            "book_batch",
+            {"requests": [serialize_request(request) for request in requests]},
+        )
+        bookings = self._book_batch_requests(requests)
+        self._finish_command()
+        return bookings
+
+    def _book_batch_requests(self, requests: Sequence[Request]) -> List[Booking]:
+        """The unjournaled body of :meth:`book_batch` (replay entry point)."""
         started = time.perf_counter()
         option_lists = self._dispatcher.match_batch(
             requests, apply_global_constraints=False, on_error="empty"
@@ -363,6 +658,9 @@ class PTRiderService:
             UnknownOptionError: for an invalid index or an already closed
                 booking, or when the option can no longer be honoured.
         """
+        self._journal_command(
+            "choose", {"booking_id": booking_id, "option_index": option_index}
+        )
         booking = self._get_booking(booking_id)
         if not booking.is_open:
             raise UnknownOptionError(f"booking {booking_id} is already closed")
@@ -387,11 +685,30 @@ class PTRiderService:
         self._engine.register_assignment(
             booking.request.request_id, option.vehicle_id, option.pickup_distance
         )
+        self._finish_command()
         return option
 
     def cancel(self, booking_id: str) -> None:
-        """Discard an open booking (the rider walked away without choosing)."""
-        booking = self._get_booking(booking_id)
+        """Discard an open booking (the rider walked away without choosing).
+
+        Also accepts the *request id* of an admission still pending in the
+        micro-batched ingest queue: the request is removed from the pending
+        window (counted in ``IngestStatistics.cancelled``) instead of being
+        flushed later as a ghost admission the rider no longer wants.
+
+        Raises:
+            ServiceError: for an unknown id, or a booking already confirmed.
+        """
+        self._journal_command("cancel", {"id": booking_id})
+        booking = self._bookings.get(booking_id)
+        if booking is None:
+            # Not a booking: the rider may be cancelling before the window
+            # flushed, in which case the admission is still pending under
+            # its request id.
+            if self._batcher.cancel(booking_id):
+                self._finish_command()
+                return
+            raise ServiceError(f"unknown booking {booking_id!r}")
         if not booking.is_open:
             raise ServiceError(f"booking {booking_id} was already confirmed and cannot be cancelled")
         self._engine.statistics.record_submission(
@@ -405,6 +722,7 @@ class PTRiderService:
             ),
         )
         del self._bookings[booking_id]
+        self._finish_command()
 
     def booking(self, booking_id: str) -> Booking:
         """Return a booking by id."""
@@ -416,17 +734,39 @@ class PTRiderService:
     def close(self) -> None:
         """Release the service's runtime resources.
 
-        Drains the ingest window (no admitted request is silently dropped)
-        and closes the dispatcher -- which shuts down the shared-memory
-        worker pool and its segments when ``dispatch_workers > 1``.  Before
-        this existed only :meth:`set_parameters` closed the outgoing
-        dispatcher, so scripts building a multi-worker service leaked the
-        pool until garbage collection.  Idempotent (the dispatcher's close
-        is); the service remains usable afterwards -- a later dispatch
-        simply reacquires its pool.
+        Drains the pending ingest window *before* tearing down the
+        dispatcher (an admitted request is never silently dropped by a
+        shutdown; the drained count is reported in
+        ``IngestStatistics.close_drained``), then closes the journal and
+        the dispatcher -- which shuts down the shared-memory worker pool
+        and its segments when ``dispatch_workers > 1``.  Before this
+        existed only :meth:`set_parameters` closed the outgoing dispatcher,
+        so scripts building a multi-worker service leaked the pool until
+        garbage collection.  Idempotent (the dispatcher's close is, and a
+        drained queue has nothing left to drain); the service remains
+        usable afterwards -- a later dispatch simply reacquires its pool,
+        and the journal connection reopens lazily.
         """
-        self._batcher.flush()
+        if self._batcher.pending:
+            moment = self._engine.time
+            self._journal_command("drain", {"now": moment, "close": True})
+            self._close_drain(moment)
+            self._finish_command()
+        if self._journal is not None:
+            self._journal.close()
         self._dispatcher.close()
+
+    def _close_drain(self, now: float) -> None:
+        """Drain the pending window on shutdown, counting what it held.
+
+        Shared by :meth:`close` and the replay of its ``drain`` record
+        (``"close": true`` payload), so a recovery that replays past a
+        close reproduces the same ``close_drained`` counter.
+        """
+        drained = self._batcher.pending
+        self._batcher.flush(now=now)
+        self._batcher.statistics.close_drained += drained
+        self._ingest_answered = []
 
     def __enter__(self) -> "PTRiderService":
         return self
@@ -441,9 +781,11 @@ class PTRiderService:
         """Advance the world by ``duration`` time units (vehicles move, stops fire)."""
         if duration < 0:
             raise ServiceError(f"duration must be non-negative, got {duration}")
+        self._journal_command("advance", {"duration": duration})
         target = self._engine.time + duration
         while self._engine.time < target - 1e-9:
             self._engine.step()
+        self._finish_command()
 
     # ------------------------------------------------------------------
     # website interface
@@ -587,6 +929,27 @@ class PTRiderService:
         batcher is rebuilt on the new knobs.  ``queue_capacity=0`` removes
         the bound (maps to ``None``: unbounded).
         """
+        provided = {
+            name: value
+            for name, value in (
+                ("max_waiting", max_waiting),
+                ("service_constraint", service_constraint),
+                ("vehicle_capacity", vehicle_capacity),
+                ("max_pickup_distance", max_pickup_distance),
+                ("matcher_name", matcher_name),
+                ("routing_backend", routing_backend),
+                ("table_max_vertices", table_max_vertices),
+                ("tree_provider", tree_provider),
+                ("match_shards", match_shards),
+                ("dispatch_workers", dispatch_workers),
+                ("batch_window", batch_window),
+                ("max_batch_size", max_batch_size),
+                ("queue_capacity", queue_capacity),
+                ("queue_policy", queue_policy),
+            )
+            if value is not None
+        }
+        self._journal_command("set_parameters", {"changes": provided})
         changes: Dict[str, object] = {}
         if max_waiting is not None:
             changes["max_waiting"] = max_waiting
@@ -674,11 +1037,17 @@ class PTRiderService:
         self._dispatcher.close()
         self._dispatcher = Dispatcher(self._fleet, self._matcher, self._config)
         self._engine._dispatcher = self._dispatcher  # keep the engine on the new dispatcher
+        if self._journal is not None:
+            # The journal's annotation hook must follow the service onto
+            # the rebuilt dispatcher, or post-reconfigure flush outcomes
+            # would silently stop being recorded.
+            self._dispatcher.outcome_listener = self._record_outcome_annotation
         ingest_statistics = self._batcher.statistics
         self._batcher = self._build_batcher()
         # Counters survive the rebuild: the admin panel's ingest series
         # must stay continuous across a reconfiguration.
         self._batcher.statistics = ingest_statistics
+        self._finish_command()
         return self._config
 
     # ------------------------------------------------------------------
@@ -707,6 +1076,9 @@ def build_system(
     max_batch_size: Optional[int] = None,
     queue_capacity: Optional[int] = None,
     queue_policy: Optional[str] = None,
+    durability: Optional[str] = None,
+    journal_path: Optional[str] = None,
+    snapshot_interval: Optional[int] = None,
 ) -> PTRiderService:
     """Build a ready-to-use PTRider system.
 
@@ -736,6 +1108,13 @@ def build_system(
             defaults to the config's ``queue_capacity``.
         queue_policy: full-queue policy override ("shed" or "block");
             defaults to the config's ``queue_policy``.
+        durability: durability mode override ("off", "journal" or
+            "journal+snapshot"); defaults to the config's ``durability``.
+        journal_path: journal directory override (required when durability
+            is on); defaults to the config's ``journal_path``.
+        snapshot_interval: journal records between automatic snapshots
+            under "journal+snapshot"; defaults to the config's
+            ``snapshot_interval``.
 
     Returns:
         A :class:`PTRiderService` whose fleet is registered and idle.
@@ -762,6 +1141,20 @@ def build_system(
             system_config = system_config.with_updates(queue_capacity=bound)
     if queue_policy is not None and queue_policy != system_config.queue_policy:
         system_config = system_config.with_updates(queue_policy=queue_policy)
+    durability_changes: Dict[str, object] = {}
+    if journal_path is not None and journal_path != system_config.journal_path:
+        durability_changes["journal_path"] = journal_path
+    if durability is not None and durability != system_config.durability:
+        durability_changes["durability"] = durability
+    if (
+        snapshot_interval is not None
+        and snapshot_interval != system_config.snapshot_interval
+    ):
+        durability_changes["snapshot_interval"] = snapshot_interval
+    if durability_changes:
+        # One update for all three: turning durability on is only valid
+        # together with its journal_path (the config validates the pair).
+        system_config = system_config.with_updates(**durability_changes)
     engine = make_engine(
         network,
         system_config.routing_backend,

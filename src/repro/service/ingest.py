@@ -90,8 +90,9 @@ class IngestStatistics:
     """End-to-end instrumentation of the micro-batched serving path.
 
     Conservation invariant (checked by the unit and property tests):
-    ``admitted == answered + pending + errored`` at every quiescent point,
-    and ``shed`` counts refused admissions that never entered the queue.
+    ``admitted == answered + pending + errored + cancelled`` at every
+    quiescent point, and ``shed`` counts refused admissions that never
+    entered the queue.
     """
 
     #: requests accepted into the pending window
@@ -102,6 +103,11 @@ class IngestStatistics:
     shed: int = 0
     #: requests lost to a mid-flush error (the dispatch raised at their turn)
     errored: int = 0
+    #: admitted requests removed from the pending window by a cancellation
+    cancelled: int = 0
+    #: of the answered requests, how many were drained by ``close()``
+    #: (admitted but still unflushed when the service shut down)
+    close_drained: int = 0
     #: windows flushed because they reached ``max_batch_size``
     size_closed: int = 0
     #: windows flushed because ``batch_window`` elapsed
@@ -143,6 +149,8 @@ class IngestStatistics:
             "answered": float(self.answered),
             "shed": float(self.shed),
             "errored": float(self.errored),
+            "cancelled": float(self.cancelled),
+            "close_drained": float(self.close_drained),
             "flushes": float(self.flushes),
             "size_closed": float(self.size_closed),
             "window_closed": float(self.window_closed),
@@ -229,6 +237,33 @@ class MicroBatcher:
         return len(self._pending)
 
     @property
+    def window_opened(self) -> Optional[float]:
+        """When the current window opened (``None`` while empty)."""
+        return self._window_opened
+
+    def pending_entries(self) -> List[Tuple[Request, float]]:
+        """The pending window as ``(request, admit_time)`` pairs, in order.
+
+        Read by the durability snapshotter so admitted-but-unflushed
+        requests survive a restart.
+        """
+        return list(self._pending)
+
+    def restore_pending(
+        self,
+        entries: Sequence[Tuple[Request, float]],
+        window_opened: Optional[float],
+    ) -> None:
+        """Overwrite the pending window (snapshot restore).
+
+        Counters are *not* touched -- the snapshot restores
+        :attr:`statistics` separately, and these entries were already
+        counted as admitted when they first entered the queue.
+        """
+        self._pending = list(entries)
+        self._window_opened = window_opened if self._pending else None
+
+    @property
     def batch_window(self) -> float:
         return self._batch_window
 
@@ -295,6 +330,23 @@ class MicroBatcher:
         if not self._pending:
             return []
         return self._flush(moment, "forced")
+
+    def cancel(self, request_id: str) -> bool:
+        """Remove an admitted-but-unflushed request from the pending window.
+
+        Returns ``True`` when the request was pending (it is removed and
+        counted in :attr:`IngestStatistics.cancelled`, so conservation
+        holds), ``False`` when no pending request carries ``request_id``
+        (already flushed, or never admitted).  An emptied window closes.
+        """
+        for index, (request, _admitted) in enumerate(self._pending):
+            if request.request_id == request_id:
+                del self._pending[index]
+                self.statistics.cancelled += 1
+                if not self._pending:
+                    self._window_opened = None
+                return True
+        return False
 
     # ------------------------------------------------------------------
     def _flush(self, moment: float, reason: str) -> List[DispatchOutcome]:

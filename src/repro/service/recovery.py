@@ -1,0 +1,712 @@
+"""Snapshot + replay crash recovery for the PTRider service.
+
+The recovery model is the classic redo-log discipline database-backed
+serving systems use:
+
+1. at journal creation the service writes a **baseline snapshot** (sequence
+   position 0) capturing its full logical state;
+2. every state-mutating API call appends a command record *before*
+   executing (:mod:`repro.service.journal`);
+3. under ``durability="journal+snapshot"`` a fresh snapshot is written
+   every ``snapshot_interval`` records (atomic tmp-then-rename, old files
+   pruned), bounding the replay tail;
+4. :meth:`~repro.service.api.PTRiderService.recover` rebuilds the service
+   from the journal's metadata (road network, grid shape, config), restores
+   the newest *valid* snapshot -- a corrupt or partial snapshot file falls
+   back to the previous one, at the cost of a longer replay -- and
+   re-executes the tail records in sequence order.
+
+Replay is re-execution: the service's dispatch pipeline is deterministic
+given fleet state, simulated time and the engine's RNG state (all captured
+in the snapshot), so re-running the journaled commands reproduces bookings,
+vehicle schedules, fleet positions and statistics counters exactly.  The
+journal's window-flush ``outcome`` annotation records are used as a
+cross-check: recovery compares every re-derived flush outcome against the
+recorded one and raises :class:`RecoveryError` on divergence rather than
+silently serving a different history.
+
+Wall-clock measurements (matcher response seconds, flush wall time,
+admission latencies) are *not* part of the logical state -- two runs of the
+same events never agree on them -- so :func:`canonical_state` strips them;
+equality of recovered and reference services is defined over everything
+else: bookings, options, chosen schedules, vehicle kinetic trees, fleet
+positions, motion/assignment bookkeeping, RNG state and the deterministic
+statistics counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.pricing import LinearPriceModel
+from repro.errors import PTRiderError, ServiceError
+from repro.model.options import RideOption
+from repro.model.request import Request
+from repro.model.stops import Stop, StopKind
+from repro.service.journal import JournalRecord, ServiceJournal
+from repro.vehicles.fleet import restore_vehicle, snapshot_vehicle
+from repro.vehicles.schedule import RequestState
+from repro.vehicles.vehicle import Vehicle
+
+__all__ = [
+    "RecoveryError",
+    "serialize_state",
+    "restore_state",
+    "canonical_state",
+    "write_snapshot",
+    "load_snapshot_state",
+    "replay_records",
+    "serialize_config",
+    "deserialize_config",
+    "serialize_request",
+    "deserialize_request",
+    "SNAPSHOT_KEEP",
+]
+
+#: Snapshots retained after pruning (>= 2 so a corrupt newest file still
+#: leaves a fallback).
+SNAPSHOT_KEEP = 3
+
+#: Bump when the snapshot payload shape changes incompatibly.
+STATE_VERSION = 1
+
+
+class RecoveryError(ServiceError):
+    """Recovery could not restore a consistent service state."""
+
+
+# ----------------------------------------------------------------------
+# model codecs (JSON-able payloads for the frozen dataclasses)
+# ----------------------------------------------------------------------
+def serialize_request(request: Request) -> Dict[str, object]:
+    """JSON payload of a :class:`~repro.model.request.Request`."""
+    return {
+        "start": request.start,
+        "destination": request.destination,
+        "riders": request.riders,
+        "max_waiting": request.max_waiting,
+        "service_constraint": request.service_constraint,
+        "request_id": request.request_id,
+        "submit_time": request.submit_time,
+    }
+
+
+def deserialize_request(payload: Dict[str, object]) -> Request:
+    """Rebuild a request (id preserved, so replay re-creates the same one)."""
+    return Request(
+        start=int(payload["start"]),
+        destination=int(payload["destination"]),
+        riders=int(payload["riders"]),
+        max_waiting=float(payload["max_waiting"]),
+        service_constraint=float(payload["service_constraint"]),
+        request_id=str(payload["request_id"]),
+        submit_time=float(payload["submit_time"]),
+    )
+
+
+def _serialize_stop(stop: Stop) -> List[object]:
+    return [stop.vertex, stop.request_id, stop.kind.value, stop.riders]
+
+
+def _deserialize_stop(payload: List[object]) -> Stop:
+    return Stop(
+        vertex=int(payload[0]),
+        request_id=str(payload[1]),
+        kind=StopKind(payload[2]),
+        riders=int(payload[3]),
+    )
+
+
+def _serialize_schedule(schedule: Tuple[Stop, ...]) -> List[List[object]]:
+    return [_serialize_stop(stop) for stop in schedule]
+
+
+def _deserialize_schedule(payload: List[List[object]]) -> Tuple[Stop, ...]:
+    return tuple(_deserialize_stop(stop) for stop in payload)
+
+
+def serialize_option(option: RideOption) -> Dict[str, object]:
+    """JSON payload of a :class:`~repro.model.options.RideOption`."""
+    return {
+        "vehicle_id": option.vehicle_id,
+        "pickup_distance": option.pickup_distance,
+        "price": option.price,
+        "request_id": option.request_id,
+        "schedule": _serialize_schedule(option.schedule),
+        "added_distance": option.added_distance,
+    }
+
+
+def deserialize_option(payload: Dict[str, object]) -> RideOption:
+    """Rebuild a ride option (schedule stops included)."""
+    return RideOption(
+        vehicle_id=str(payload["vehicle_id"]),
+        pickup_distance=float(payload["pickup_distance"]),
+        price=float(payload["price"]),
+        request_id=str(payload["request_id"]),
+        schedule=_deserialize_schedule(payload["schedule"]),
+        added_distance=float(payload["added_distance"]),
+    )
+
+
+def _serialize_request_state(state: RequestState) -> Dict[str, object]:
+    return {
+        "request": serialize_request(state.request),
+        "onboard": state.onboard,
+        "direct_distance": state.direct_distance,
+        "planned_pickup_remaining": state.planned_pickup_remaining,
+        "travelled_since_pickup": state.travelled_since_pickup,
+    }
+
+
+def _deserialize_request_state(payload: Dict[str, object]) -> RequestState:
+    return RequestState(
+        request=deserialize_request(payload["request"]),
+        onboard=bool(payload["onboard"]),
+        direct_distance=float(payload["direct_distance"]),
+        planned_pickup_remaining=float(payload["planned_pickup_remaining"]),
+        travelled_since_pickup=float(payload["travelled_since_pickup"]),
+    )
+
+
+def serialize_vehicle(vehicle: Vehicle) -> Dict[str, object]:
+    """JSON payload of one vehicle, built on PR 6's :func:`snapshot_vehicle`."""
+    (
+        vehicle_id,
+        location,
+        capacity,
+        offset,
+        waiting,
+        onboard,
+        order,
+        schedules,
+        distance_driven,
+        occupied_distance,
+    ) = snapshot_vehicle(vehicle)
+    return {
+        "vehicle_id": vehicle_id,
+        "location": location,
+        "capacity": capacity,
+        "offset": offset,
+        "waiting": {rid: _serialize_request_state(s) for rid, s in waiting.items()},
+        "onboard": {rid: _serialize_request_state(s) for rid, s in onboard.items()},
+        "order": list(order),
+        "schedules": [_serialize_schedule(schedule) for schedule in schedules],
+        "distance_driven": distance_driven,
+        "occupied_distance": occupied_distance,
+    }
+
+
+def deserialize_vehicle(payload: Dict[str, object]) -> Vehicle:
+    """Rebuild a vehicle through :func:`~repro.vehicles.fleet.restore_vehicle`."""
+    return restore_vehicle(
+        (
+            str(payload["vehicle_id"]),
+            int(payload["location"]),
+            int(payload["capacity"]),
+            float(payload["offset"]),
+            {
+                rid: _deserialize_request_state(state)
+                for rid, state in payload["waiting"].items()
+            },
+            {
+                rid: _deserialize_request_state(state)
+                for rid, state in payload["onboard"].items()
+            },
+            [str(rid) for rid in payload["order"]],
+            [_deserialize_schedule(schedule) for schedule in payload["schedules"]],
+            float(payload["distance_driven"]),
+            float(payload["occupied_distance"]),
+        )
+    )
+
+
+def serialize_config(config: SystemConfig) -> Dict[str, object]:
+    """JSON payload of a :class:`~repro.core.config.SystemConfig`."""
+    price = config.price_model
+    return {
+        "vehicle_capacity": config.vehicle_capacity,
+        "max_waiting": config.max_waiting,
+        "service_constraint": config.service_constraint,
+        "speed": config.speed,
+        "max_pickup_distance": config.max_pickup_distance,
+        "matcher_name": config.matcher_name,
+        "price_model": {
+            "base_ratio": getattr(price, "base_ratio", 0.3),
+            "rider_increment": getattr(price, "rider_increment", 0.1),
+            "booking_fee": getattr(price, "booking_fee", 0.0),
+        },
+        "routing_backend": config.routing_backend,
+        "table_max_vertices": config.table_max_vertices,
+        "tree_provider": config.tree_provider,
+        "routing_cache_dir": config.routing_cache_dir,
+        "match_shards": config.match_shards,
+        "dispatch_workers": config.dispatch_workers,
+        "batch_window": config.batch_window,
+        "max_batch_size": config.max_batch_size,
+        "queue_capacity": config.queue_capacity,
+        "queue_policy": config.queue_policy,
+        "durability": config.durability,
+        "journal_path": config.journal_path,
+        "snapshot_interval": config.snapshot_interval,
+    }
+
+
+def deserialize_config(payload: Dict[str, object]) -> SystemConfig:
+    """Rebuild a config (price-model coefficients included)."""
+    price = payload.get("price_model") or {}
+    fields = dict(payload)
+    fields["price_model"] = LinearPriceModel(
+        base_ratio=float(price.get("base_ratio", 0.3)),
+        rider_increment=float(price.get("rider_increment", 0.1)),
+        booking_fee=float(price.get("booking_fee", 0.0)),
+    )
+    return SystemConfig(**fields)
+
+
+# ----------------------------------------------------------------------
+# full service state
+# ----------------------------------------------------------------------
+def _serialize_sim_statistics(stats) -> Dict[str, object]:
+    return {
+        "response_times": list(stats.response_times),
+        "option_counts": list(stats.option_counts),
+        "matched_requests": stats.matched_requests,
+        "unmatched_requests": stats.unmatched_requests,
+        "completed_requests": stats.completed_requests,
+        "shared_requests": stats.shared_requests,
+        "pickups": stats.pickups,
+        "dropoffs": stats.dropoffs,
+        "waiting_distances": list(stats.waiting_distances),
+        "detour_ratios": list(stats.detour_ratios),
+        "records": {
+            rid: {
+                "submit_time": record.submit_time,
+                "planned_pickup_distance": record.planned_pickup_distance,
+                "pickup_time": record.pickup_time,
+                "dropoff_time": record.dropoff_time,
+                "shared": record.shared,
+                "direct_distance": record.direct_distance,
+                "travelled_distance": record.travelled_distance,
+            }
+            for rid, record in stats._records.items()
+        },
+    }
+
+
+def _restore_sim_statistics(stats, payload: Dict[str, object]) -> None:
+    from repro.sim.stats import _RequestRecord
+
+    stats.response_times = [float(v) for v in payload["response_times"]]
+    stats.option_counts = [int(v) for v in payload["option_counts"]]
+    stats.matched_requests = int(payload["matched_requests"])
+    stats.unmatched_requests = int(payload["unmatched_requests"])
+    stats.completed_requests = int(payload["completed_requests"])
+    stats.shared_requests = int(payload["shared_requests"])
+    stats.pickups = int(payload["pickups"])
+    stats.dropoffs = int(payload["dropoffs"])
+    stats.waiting_distances = [float(v) for v in payload["waiting_distances"]]
+    stats.detour_ratios = [float(v) for v in payload["detour_ratios"]]
+    stats._records = {
+        rid: _RequestRecord(
+            submit_time=float(record["submit_time"]),
+            planned_pickup_distance=float(record["planned_pickup_distance"]),
+            pickup_time=(
+                None if record["pickup_time"] is None else float(record["pickup_time"])
+            ),
+            dropoff_time=(
+                None
+                if record["dropoff_time"] is None
+                else float(record["dropoff_time"])
+            ),
+            shared=bool(record["shared"]),
+            direct_distance=float(record["direct_distance"]),
+            travelled_distance=float(record["travelled_distance"]),
+        )
+        for rid, record in payload["records"].items()
+    }
+
+
+def _serialize_ingest_statistics(stats) -> Dict[str, object]:
+    return {
+        "admitted": stats.admitted,
+        "answered": stats.answered,
+        "shed": stats.shed,
+        "errored": stats.errored,
+        "cancelled": stats.cancelled,
+        "close_drained": stats.close_drained,
+        "size_closed": stats.size_closed,
+        "window_closed": stats.window_closed,
+        "forced": stats.forced,
+        "peak_queue_depth": stats.peak_queue_depth,
+        "serving_seconds": stats.serving_seconds,
+        "window_fills": list(stats.window_fills),
+        "latencies": list(stats.latencies),
+    }
+
+
+def _restore_ingest_statistics(stats, payload: Dict[str, object]) -> None:
+    stats.admitted = int(payload["admitted"])
+    stats.answered = int(payload["answered"])
+    stats.shed = int(payload["shed"])
+    stats.errored = int(payload["errored"])
+    stats.cancelled = int(payload.get("cancelled", 0))
+    stats.close_drained = int(payload.get("close_drained", 0))
+    stats.size_closed = int(payload["size_closed"])
+    stats.window_closed = int(payload["window_closed"])
+    stats.forced = int(payload["forced"])
+    stats.peak_queue_depth = int(payload["peak_queue_depth"])
+    stats.serving_seconds = float(payload["serving_seconds"])
+    stats.window_fills = [float(v) for v in payload["window_fills"]]
+    stats.latencies = [float(v) for v in payload["latencies"]]
+
+
+def serialize_state(service) -> Dict[str, object]:
+    """Capture the full logical state of a service as a JSON-able dict.
+
+    Everything recovery needs to resume: bookings (requests, option
+    skylines, choices), the booking counter, every vehicle (via PR 6's
+    snapshot tuples), the engine's motion/target/assignment bookkeeping,
+    simulated time, the idle-wander RNG state, the statistics counters,
+    the micro-batcher's pending window and counters, the dispatcher's
+    active-request map and the current config.  JSON round-trips Python
+    floats exactly (shortest-repr), so restored state compares equal.
+    """
+    engine = service._engine
+    batcher = service._batcher
+    rng_state = engine._rng.getstate()
+    bookings = []
+    for booking in service._bookings.values():
+        chosen_index = -1
+        if booking.chosen is not None:
+            chosen_index = booking.options.index(booking.chosen)
+        bookings.append(
+            {
+                "booking_id": booking.booking_id,
+                "request": serialize_request(booking.request),
+                "options": [serialize_option(option) for option in booking.options],
+                "chosen_index": chosen_index,
+                "response_seconds": booking.response_seconds,
+            }
+        )
+    return {
+        "version": STATE_VERSION,
+        "time": engine._time,
+        "ticks": engine._ticks,
+        "rng_state": [rng_state[0], list(rng_state[1]), rng_state[2]],
+        "booking_next": service._peek_booking_counter(),
+        "bookings": bookings,
+        "ingest_answered": [b.booking_id for b in service._ingest_answered],
+        "vehicles": [
+            serialize_vehicle(vehicle) for vehicle in service._fleet.vehicles()
+        ],
+        "motions": {
+            vid: [motion.location, list(motion.route), motion.offset]
+            for vid, motion in sorted(engine._motions.items())
+        },
+        "targets": {vid: target for vid, target in sorted(engine._targets.items())},
+        "assignments": {
+            rid: [
+                record.vehicle_id,
+                record.planned_pickup_distance,
+                record.driven_at_assignment,
+            ]
+            for rid, record in sorted(engine._assignments.items())
+        },
+        "active_requests": dict(sorted(service._dispatcher._active_requests.items())),
+        "sim_stats": _serialize_sim_statistics(engine.statistics),
+        "ingest_stats": _serialize_ingest_statistics(batcher.statistics),
+        "pending": [
+            [serialize_request(request), admitted]
+            for request, admitted in batcher.pending_entries()
+        ],
+        "window_opened": batcher.window_opened,
+        "config": serialize_config(service._config),
+    }
+
+
+def restore_state(service, state: Dict[str, object]) -> None:
+    """Overwrite ``service``'s live state with a :func:`serialize_state` dict.
+
+    The service must already run the snapshot's config (matcher, dispatch
+    knobs, routing backend); :meth:`PTRiderService.recover` guarantees that
+    by constructing it from the snapshot's own config payload.
+    """
+    from repro.model.options import RideOption  # local alias for clarity
+    from repro.sim.engine import _AssignmentRecord
+    from repro.vehicles.movement import MotionState
+
+    engine = service._engine
+    fleet = service._fleet
+    batcher = service._batcher
+
+    fleet.restore_vehicles(
+        deserialize_vehicle(payload) for payload in state["vehicles"]
+    )
+
+    engine._time = float(state["time"])
+    engine._ticks = int(state["ticks"])
+    rng_version, rng_values, rng_extra = state["rng_state"]
+    engine._rng.setstate((int(rng_version), tuple(rng_values), rng_extra))
+    engine._motions = {
+        vid: MotionState(
+            location=int(payload[0]),
+            route=tuple(int(v) for v in payload[1]),
+            offset=float(payload[2]),
+        )
+        for vid, payload in state["motions"].items()
+    }
+    engine._targets = {
+        vid: (None if target is None else int(target))
+        for vid, target in state["targets"].items()
+    }
+    engine._assignments = {
+        rid: _AssignmentRecord(
+            vehicle_id=str(payload[0]),
+            planned_pickup_distance=float(payload[1]),
+            driven_at_assignment=float(payload[2]),
+        )
+        for rid, payload in state["assignments"].items()
+    }
+    _restore_sim_statistics(engine.statistics, state["sim_stats"])
+
+    service._set_booking_counter(int(state["booking_next"]))
+    service._bookings.clear()
+    from repro.service.api import Booking
+
+    for payload in state["bookings"]:
+        options = tuple(deserialize_option(option) for option in payload["options"])
+        chosen_index = int(payload["chosen_index"])
+        booking = Booking(
+            booking_id=str(payload["booking_id"]),
+            request=deserialize_request(payload["request"]),
+            options=options,
+            chosen=options[chosen_index] if chosen_index >= 0 else None,
+            response_seconds=float(payload["response_seconds"]),
+        )
+        service._bookings[booking.booking_id] = booking
+    service._ingest_answered = [
+        service._bookings[bid] for bid in state["ingest_answered"]
+    ]
+
+    service._dispatcher._active_requests = {
+        rid: str(vid) for rid, vid in state["active_requests"].items()
+    }
+    _restore_ingest_statistics(batcher.statistics, state["ingest_stats"])
+    batcher.restore_pending(
+        [
+            (deserialize_request(request), float(admitted))
+            for request, admitted in state["pending"]
+        ],
+        state["window_opened"],
+    )
+
+
+#: Keys stripped from :func:`canonical_state`: wall-clock measurements that
+#: two otherwise identical runs never agree on.
+_WALL_CLOCK_STATE_KEYS = ("seq",)
+
+
+def canonical_state(service) -> Dict[str, object]:
+    """The service's logical state with wall-clock measurements stripped.
+
+    Two services that processed the same events -- one live, one recovered
+    from a journal -- compare equal under ``==`` of their canonical states;
+    this is the property the fault-injection harness asserts.
+    """
+    state = serialize_state(service)
+    for key in _WALL_CLOCK_STATE_KEYS:
+        state.pop(key, None)
+    for booking in state["bookings"]:
+        booking.pop("response_seconds", None)
+    state["sim_stats"].pop("response_times", None)
+    for key in ("serving_seconds", "latencies"):
+        state["ingest_stats"].pop(key, None)
+    return state
+
+
+# ----------------------------------------------------------------------
+# snapshot files
+# ----------------------------------------------------------------------
+def write_snapshot(journal: ServiceJournal, service, seq: int) -> Path:
+    """Atomically write the service's state as the snapshot at ``seq``.
+
+    The payload is written to a ``.tmp`` sibling first and moved into place
+    with ``os.replace``, so a crash mid-snapshot leaves only an ignored
+    temp file; a SHA-256 checksum over the state JSON lets recovery detect
+    a corrupt or truncated snapshot and fall back to an older one.  Old
+    snapshots beyond :data:`SNAPSHOT_KEEP` are pruned.
+    """
+    state = serialize_state(service)
+    state_text = json.dumps(state, separators=(",", ":"))
+    document = {
+        "seq": seq,
+        "checksum": hashlib.sha256(state_text.encode("utf-8")).hexdigest(),
+        "state": state,
+    }
+    target = journal.snapshot_path(seq)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(document, separators=(",", ":")), encoding="utf-8")
+    os.replace(tmp, target)
+    journal.prune_snapshots(keep=SNAPSHOT_KEEP)
+    return target
+
+
+def _load_snapshot_file(path: Path) -> Optional[Tuple[int, Dict[str, object]]]:
+    """Parse + checksum-verify one snapshot file; ``None`` when unusable."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        state = document["state"]
+        state_text = json.dumps(state, separators=(",", ":"))
+        checksum = hashlib.sha256(state_text.encode("utf-8")).hexdigest()
+        if checksum != document["checksum"]:
+            return None
+        if int(state.get("version", -1)) != STATE_VERSION:
+            return None
+        return int(document["seq"]), state
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def load_snapshot_state(
+    journal: ServiceJournal, prefer_snapshot: bool = True
+) -> Tuple[int, Dict[str, object]]:
+    """The newest valid snapshot's ``(seq, state)``.
+
+    Walks the snapshot files newest-first, skipping corrupt or partial
+    ones (bad checksum, truncated JSON, version mismatch) -- falling back
+    to an older snapshot simply means a longer replay.  With
+    ``prefer_snapshot=False`` only the baseline (sequence position 0) is
+    considered, forcing a full-journal replay -- the ablation arm of the
+    recovery benchmark and the reference side of the snapshot+tail ==
+    full-replay property.
+
+    Raises:
+        RecoveryError: when no snapshot (not even the baseline) is usable.
+    """
+    candidates = journal.snapshot_files()
+    if not prefer_snapshot:
+        candidates = [(seq, path) for seq, path in candidates if seq == 0]
+    for seq, path in reversed(candidates):
+        loaded = _load_snapshot_file(path)
+        if loaded is not None:
+            return loaded
+    raise RecoveryError(
+        f"no usable snapshot in {journal.directory} "
+        f"(checked {len(candidates)} file(s))"
+    )
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def apply_record(service, record: JournalRecord) -> None:
+    """Re-execute one command record against ``service``.
+
+    Skips records at or below the service's applied sequence position
+    (idempotence: replaying the same tail twice is a no-op) and tolerates
+    the service-level errors the original call raised live -- a command
+    that failed deterministically fails identically on replay, leaving
+    state untouched both times.
+    """
+    if record.seq <= service._applied_seq:
+        return
+    kind, payload = record.kind, record.payload
+    try:
+        if kind == "book":
+            service.book_request(deserialize_request(payload["request"]))
+        elif kind == "book_batch":
+            service._book_batch_requests(
+                [deserialize_request(request) for request in payload["requests"]]
+            )
+        elif kind == "admit":
+            service.ingest_request(
+                deserialize_request(payload["request"]), now=float(payload["now"])
+            )
+        elif kind == "pump":
+            service.pump(now=float(payload["now"]))
+        elif kind == "drain":
+            if payload.get("close"):
+                service._close_drain(float(payload["now"]))
+            else:
+                service.drain(now=float(payload["now"]))
+        elif kind == "choose":
+            service.choose(str(payload["booking_id"]), int(payload["option_index"]))
+        elif kind == "cancel":
+            service.cancel(str(payload["id"]))
+        elif kind == "advance":
+            service.advance(float(payload["duration"]))
+        elif kind == "set_parameters":
+            service.set_parameters(**payload["changes"])
+        else:  # pragma: no cover - append() rejects unknown kinds
+            raise RecoveryError(f"unknown command record kind {kind!r}")
+    except RecoveryError:
+        raise
+    except PTRiderError:
+        # The live call raised the same deterministic service error after
+        # its record was already durable; state is unchanged either way.
+        pass
+    service._applied_seq = record.seq
+
+
+def replay_records(service, records: List[JournalRecord]) -> int:
+    """Re-execute a record tail in sequence-number order; returns how many.
+
+    Records are sorted by sequence number first, so arrival order never
+    matters.  Window-flush ``outcome`` annotations are collected and
+    compared against the outcomes the replay re-derives: the recovered
+    history must be the recorded history.
+
+    Raises:
+        RecoveryError: when a re-derived flush outcome diverges from the
+            journal's recorded outcome.
+    """
+    ordered = sorted(records, key=lambda record: record.seq)
+    expected: List[Dict[str, object]] = []
+    for record in ordered:
+        if record.kind == "outcome" and record.seq > service._applied_seq:
+            # one annotation record per command, holding every outcome the
+            # command's flush produced, in flush order
+            expected.extend(record.payload.get("outcomes", []))
+    replayed: List[Dict[str, object]] = []
+    previous_listener = service._dispatcher.outcome_listener
+
+    def _observe(outcome) -> None:
+        replayed.append(service._outcome_payload(outcome))
+
+    service._dispatcher.outcome_listener = _observe
+    applied = 0
+    try:
+        for record in ordered:
+            if not record.is_command:
+                if record.kind == "outcome" and record.seq > service._applied_seq:
+                    service._applied_seq = record.seq
+                continue
+            before = service._applied_seq
+            apply_record(service, record)
+            if service._applied_seq > before:
+                applied += 1
+    finally:
+        service._dispatcher.outcome_listener = previous_listener
+    # Cross-check: every recorded flush outcome must match the re-derived
+    # one at the same position.  The replay may legitimately produce *more*
+    # outcomes than were recorded (a crash between a flush's commits and
+    # its annotation appends), never different ones.
+    for index, recorded in enumerate(expected):
+        if index >= len(replayed):
+            raise RecoveryError(
+                f"journal records {len(expected)} flush outcomes but replay "
+                f"re-derived only {len(replayed)}"
+            )
+        if recorded != replayed[index]:
+            raise RecoveryError(
+                "replay diverged from the journaled flush outcome for request "
+                f"{recorded.get('request_id')!r}: recorded {recorded}, "
+                f"re-derived {replayed[index]}"
+            )
+    return applied

@@ -221,6 +221,27 @@ class Fleet:
         self._vehicles[vehicle.vehicle_id] = vehicle
         self.refresh_vehicle(vehicle.vehicle_id)
 
+    def restore_vehicles(self, vehicles: Iterable[Vehicle]) -> None:
+        """Make the fleet hold exactly ``vehicles`` (snapshot restore).
+
+        Vehicles already registered under the same id are swapped through
+        :meth:`replace_vehicle` (their grid entries refreshed), new ids are
+        added, and ids absent from ``vehicles`` are removed -- so a recovery
+        restore lands on the snapshot's fleet regardless of what the
+        freshly built service started with.
+        """
+        wanted: Dict[str, Vehicle] = {}
+        for vehicle in vehicles:
+            wanted[vehicle.vehicle_id] = vehicle
+        for vehicle_id in list(self._vehicles):
+            if vehicle_id not in wanted:
+                self.remove_vehicle(vehicle_id)
+        for vehicle_id, vehicle in wanted.items():
+            if vehicle_id in self._vehicles:
+                self.replace_vehicle(vehicle)
+            else:
+                self.add_vehicle(vehicle)
+
     def refresh_vehicle(self, vehicle_id: str) -> None:
         """Re-register ``vehicle_id`` in the grid lists after a state change.
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import InvalidScheduleError
-from repro.model.stops import Stop
+from repro.model.stops import Stop, StopKind
 from repro.vehicles.schedule import (
     DistanceFunction,
     RequestState,
@@ -162,6 +162,42 @@ class KineticTree:
                         "all schedules of a kinetic tree must visit the same set of stops"
                     )
         self._schedules = candidate
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able form of the tree (root vertex + flat schedules).
+
+        The durability snapshot format (:mod:`repro.service.recovery`):
+        each stop becomes a ``[vertex, request_id, kind, riders]`` list, so
+        the payload survives a JSON round-trip and
+        :meth:`from_payload` rebuilds an equal tree.
+        """
+        return {
+            "root": self._root_location,
+            "schedules": [
+                [
+                    [stop.vertex, stop.request_id, stop.kind.value, stop.riders]
+                    for stop in schedule
+                ]
+                for schedule in self._schedules
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "KineticTree":
+        """Rebuild a tree from a :meth:`to_payload` dictionary."""
+        schedules = [
+            [
+                Stop(
+                    vertex=int(stop[0]),
+                    request_id=str(stop[1]),
+                    kind=StopKind(stop[2]),
+                    riders=int(stop[3]),
+                )
+                for stop in schedule
+            ]
+            for schedule in payload["schedules"]
+        ]
+        return cls(root_location=int(payload["root"]), schedules=schedules)
 
     def clear(self) -> None:
         """Drop every schedule (the vehicle becomes empty)."""

@@ -102,6 +102,46 @@ class TestArtifactCache:
         assert cache.save("csr", "c" * 64, {"x": [1]}) is None
         assert cache.load("csr", "c" * 64) is None
 
+    @needs_numpy
+    def test_flaky_rename_is_retried(self, tmp_path, monkeypatch):
+        """Transient rename failures (concurrent cache warmers, EBUSY on
+        network filesystems) are absorbed by the backoff loop."""
+        monkeypatch.setattr(artifacts, "REPLACE_BACKOFF_SECONDS", 0.0)
+        real_replace = artifacts.os.replace
+        failures = {"left": 2, "seen": 0}
+
+        def flaky_replace(src, dst):
+            failures["seen"] += 1
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("simulated EBUSY")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(artifacts.os, "replace", flaky_replace)
+        cache = ArtifactCache(tmp_path)
+        saved = cache.save("csr", "a1" * 32, {"x": [1.0, 2.0]})
+        assert saved is not None and saved.exists()
+        assert failures["seen"] == 3  # two failures + the success
+        assert cache.load("csr", "a1" * 32)["x"].tolist() == [1.0, 2.0]
+
+    @needs_numpy
+    def test_persistent_rename_failure_degrades_to_no_persistence(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(artifacts, "REPLACE_BACKOFF_SECONDS", 0.0)
+        calls = {"seen": 0}
+
+        def always_fails(src, dst):
+            calls["seen"] += 1
+            raise OSError("simulated EBUSY")
+
+        monkeypatch.setattr(artifacts.os, "replace", always_fails)
+        cache = ArtifactCache(tmp_path)
+        assert cache.save("csr", "b2" * 32, {"x": [1.0]}) is None
+        assert calls["seen"] == artifacts.REPLACE_ATTEMPTS
+        # the temp file does not linger after the final failure
+        assert not list(tmp_path.glob("*.tmp"))
+
 
 @needs_numpy
 class TestEngineCaching:

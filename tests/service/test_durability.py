@@ -1,0 +1,320 @@
+"""Unit tests for the durability subsystem (journal, snapshots, close/cancel)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.model.request import Request
+from repro.model.stops import dropoff, pickup
+from repro.service.api import PTRiderService, build_system
+from repro.service.journal import (
+    ANNOTATION_KINDS,
+    COMMAND_KINDS,
+    JournalRecord,
+    ServiceJournal,
+)
+from repro.service.recovery import (
+    RecoveryError,
+    canonical_state,
+    load_snapshot_state,
+    serialize_state,
+    write_snapshot,
+)
+from repro.vehicles.fleet import Fleet, restore_vehicle, snapshot_vehicle
+from repro.vehicles.kinetic_tree import KineticTree
+from repro.vehicles.vehicle import Vehicle
+
+
+def _durable_system(tmp_path, mode="journal+snapshot", interval=1000, **kwargs):
+    return build_system(
+        vehicles=kwargs.pop("vehicles", 6),
+        seed=kwargs.pop("seed", 11),
+        durability=mode,
+        journal_path=str(tmp_path / "journal"),
+        snapshot_interval=interval,
+        **kwargs,
+    )
+
+
+def _request(service, index, riders=1):
+    vertices = service.fleet.grid.network.vertices()
+    start = vertices[(index * 5) % len(vertices)]
+    destination = vertices[(index * 5 + 17) % len(vertices)]
+    if destination == start:
+        destination = vertices[(index * 5 + 18) % len(vertices)]
+    return Request(
+        start=start,
+        destination=destination,
+        riders=riders,
+        max_waiting=service.config.max_waiting,
+        service_constraint=service.config.service_constraint,
+        request_id=f"D{index}",
+        submit_time=service.current_time,
+    )
+
+
+class TestServiceJournal:
+    def test_append_returns_monotonic_seqs(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        seqs = [journal.append("advance", {"duration": float(i)}) for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert journal.last_seq() == 5
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        with pytest.raises(ServiceError):
+            journal.append("teleport", {})
+
+    def test_records_round_trip_and_classification(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        journal.append("advance", {"duration": 1.0})
+        journal.append("outcome", {"request_id": "r1"})
+        records = journal.records()
+        assert [r.kind for r in records] == ["advance", "outcome"]
+        assert records[0].is_command and not records[1].is_command
+        assert records[0].payload == {"duration": 1.0}
+        assert journal.command_count() == 1
+        assert set(COMMAND_KINDS).isdisjoint(ANNOTATION_KINDS)
+
+    def test_records_survive_close_and_reopen(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        journal.append("advance", {"duration": 2.0})
+        journal.close()
+        # the connection reopens lazily; a second handle sees the records
+        again = ServiceJournal(tmp_path)
+        assert [r.payload for r in again.records()] == [{"duration": 2.0}]
+
+    def test_torn_tail_truncates_at_first_bad_payload(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        for i in range(4):
+            journal.append("advance", {"duration": float(i)})
+        # tear the third record's payload (a torn write past SQLite's
+        # atomicity, or deliberate fault injection)
+        journal.connection.execute(
+            "UPDATE journal SET payload = ? WHERE seq = 3", ("{truncated",)
+        )
+        journal.connection.commit()
+        records = journal.records()
+        assert [r.seq for r in records] == [1, 2]
+        assert journal.truncated_records == 2  # the bad record and its suffix
+
+    def test_truncate_after_removes_suffix(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        for i in range(4):
+            journal.append("advance", {"duration": float(i)})
+        assert journal.truncate_after(2) == 2
+        assert journal.last_seq() == 2
+        # new appends continue past the truncation point
+        assert journal.append("advance", {"duration": 9.0}) > 2
+
+    def test_meta_round_trip(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        journal.set_meta("config", {"speed": 1.5})
+        assert journal.get_meta("config") == {"speed": 1.5}
+        assert journal.get_meta("absent") is None
+        assert not journal.is_fresh()
+
+    def test_snapshot_files_ignore_tmp_and_prune_keeps_newest(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        for seq in (0, 10, 20, 30):
+            journal.snapshot_path(seq).write_text("{}")
+        (tmp_path / "snapshot-000000000040.json.99.tmp").write_text("{")
+        assert [seq for seq, _ in journal.snapshot_files()] == [0, 10, 20, 30]
+        # the seq-0 baseline is exempt; only 10 falls outside keep=2
+        assert journal.prune_snapshots(keep=2) == 1
+        assert [seq for seq, _ in journal.snapshot_files()] == [0, 20, 30]
+
+
+class TestKineticTreePayload:
+    def test_payload_round_trip(self):
+        stops = [
+            pickup(5, "r1", 2),
+            dropoff(9, "r1", 2),
+        ]
+        tree = KineticTree(root_location=3, schedules=[stops])
+        rebuilt = KineticTree.from_payload(
+            json.loads(json.dumps(tree.to_payload()))
+        )
+        assert rebuilt.root_location == 3
+        assert rebuilt.schedules() == tree.schedules()
+
+    def test_empty_tree_round_trip(self):
+        tree = KineticTree(root_location=7)
+        rebuilt = KineticTree.from_payload(tree.to_payload())
+        assert rebuilt.root_location == 7
+        assert rebuilt.is_empty
+
+
+class TestFleetRestore:
+    def test_restore_vehicles_replaces_adds_and_removes(self):
+        service = build_system(vehicles=3, seed=5)
+        fleet = service.fleet
+        moved = restore_vehicle(snapshot_vehicle(fleet.get("c1")))
+        vertices = fleet.grid.network.vertices()
+        extra = Vehicle("c9", location=vertices[0], capacity=4)
+        fleet.restore_vehicles([moved, extra])
+        assert sorted(fleet.vehicle_ids()) == ["c1", "c9"]
+        # the restored set is registered in the grid (lookups still work)
+        assert fleet.get("c9").location == vertices[0]
+
+
+class TestJournalingService:
+    def test_every_mutating_call_appends_one_command(self, tmp_path):
+        service = _durable_system(tmp_path)
+        journal = service.journal
+        base = journal.command_count()
+        booking = service.book_request(_request(service, 1))
+        if booking.options:
+            service.choose(booking.booking_id, 0)
+        else:  # pragma: no cover - seed-dependent fallback
+            service.cancel(booking.booking_id)
+        service.ingest_request(_request(service, 2))
+        service.pump()
+        service.drain()
+        service.advance(1.0)
+        service.set_parameters(max_waiting=7.0)
+        assert journal.command_count() - base == 7
+        kinds = [r.kind for r in journal.records() if r.is_command]
+        assert kinds[-7:] == [
+            "book", "choose", "admit", "pump", "drain", "advance", "set_parameters",
+        ]
+
+    def test_flush_outcomes_annotated(self, tmp_path):
+        service = _durable_system(tmp_path)
+        service.ingest_request(_request(service, 1))
+        service.ingest_request(_request(service, 2))
+        service.drain()
+        outcomes = [r for r in service.journal.records() if r.kind == "outcome"]
+        # one annotation record per command, holding the whole flush
+        assert len(outcomes) == 1
+        flushed = outcomes[0].payload["outcomes"]
+        assert {entry["request_id"] for entry in flushed} == {"D1", "D2"}
+
+    def test_baseline_snapshot_written_in_plain_journal_mode(self, tmp_path):
+        service = _durable_system(tmp_path, mode="journal")
+        files = service.journal.snapshot_files()
+        assert [seq for seq, _ in files] == [0]
+        service.advance(5.0)
+        # plain journal mode never snapshots again
+        assert [seq for seq, _ in service.journal.snapshot_files()] == [0]
+
+    def test_snapshot_cadence_under_journal_plus_snapshot(self, tmp_path):
+        service = _durable_system(tmp_path, interval=3)
+        for _ in range(7):
+            service.advance(1.0)
+        seqs = [seq for seq, _ in service.journal.snapshot_files()]
+        assert seqs[0] >= 0 and len(seqs) >= 2
+        assert seqs == sorted(seqs)
+
+    def test_dirty_journal_refused_at_construction(self, tmp_path):
+        service = _durable_system(tmp_path)
+        service.advance(1.0)
+        service.close()
+        with pytest.raises(ServiceError, match="recover"):
+            _durable_system(tmp_path)
+
+    def test_set_parameters_keeps_annotating_outcomes(self, tmp_path):
+        service = _durable_system(tmp_path)
+        service.set_parameters(batch_window=2.0)
+        service.ingest_request(_request(service, 1))
+        service.drain()
+        outcomes = [r for r in service.journal.records() if r.kind == "outcome"]
+        assert len(outcomes) == 1
+        assert len(outcomes[0].payload["outcomes"]) == 1
+
+
+class TestCloseDrain:
+    def test_close_drains_pending_window_and_counts(self, tmp_path):
+        service = build_system(vehicles=6, seed=11)
+        service.ingest_request(_request(service, 1))
+        service.ingest_request(_request(service, 2))
+        assert service.batcher.pending == 2
+        service.close()
+        stats = service.batcher.statistics
+        assert service.batcher.pending == 0
+        assert stats.close_drained == 2
+        assert stats.answered == 2
+        # conservation: admitted == answered + pending + errored + cancelled
+        assert stats.admitted == stats.answered + stats.errored + stats.cancelled
+        # idempotent: a second close has nothing to drain
+        service.close()
+        assert stats.close_drained == 2
+
+    def test_close_drain_is_journaled(self, tmp_path):
+        service = _durable_system(tmp_path)
+        service.ingest_request(_request(service, 1))
+        service.close()
+        drains = [r for r in service.journal.records() if r.kind == "drain"]
+        assert len(drains) == 1 and drains[0].payload.get("close") is True
+
+
+class TestCancelPending:
+    def test_cancel_removes_pending_admission(self, tmp_path):
+        service = build_system(vehicles=6, seed=11)
+        request = _request(service, 1)
+        assert service.ingest_request(request)
+        assert service.batcher.pending == 1
+        service.cancel(request.request_id)
+        stats = service.batcher.statistics
+        assert service.batcher.pending == 0
+        assert stats.cancelled == 1
+        # the cancelled admission must not be flushed later as a ghost
+        service.drain()
+        assert stats.answered == 0
+        assert stats.admitted == stats.answered + stats.errored + stats.cancelled
+
+    def test_cancel_unknown_id_still_raises(self):
+        service = build_system(vehicles=6, seed=11)
+        with pytest.raises(ServiceError):
+            service.cancel("nope")
+
+    def test_cancel_booking_still_works(self):
+        service = build_system(vehicles=6, seed=11)
+        booking = service.book_request(_request(service, 1))
+        service.cancel(booking.booking_id)
+        with pytest.raises(ServiceError):
+            service.booking(booking.booking_id)
+
+
+class TestSnapshotRestoreFlow:
+    def test_admin_snapshot_then_recover_without_tail(self, tmp_path):
+        service = _durable_system(tmp_path)
+        service.book_request(_request(service, 1))
+        service.advance(2.0)
+        service.snapshot()
+        before = canonical_state(service)
+        service._journal.close()
+        recovered = PTRiderService.recover(tmp_path / "journal")
+        assert canonical_state(recovered) == before
+
+    def test_snapshot_requires_durability(self):
+        service = build_system(vehicles=3, seed=5)
+        with pytest.raises(ServiceError):
+            service.snapshot()
+
+    def test_corrupt_newest_snapshot_falls_back(self, tmp_path):
+        service = _durable_system(tmp_path)
+        service.advance(1.0)
+        service.snapshot()
+        journal = service.journal
+        newest = journal.snapshot_files()[-1][1]
+        newest.write_text(newest.read_text()[: len(newest.read_text()) // 2])
+        seq, state = load_snapshot_state(journal)
+        assert seq == 0  # fell back to the baseline
+        assert state["version"] >= 1
+
+    def test_no_usable_snapshot_raises(self, tmp_path):
+        service = _durable_system(tmp_path)
+        for _seq, path in service.journal.snapshot_files():
+            path.write_text("garbage")
+        with pytest.raises(RecoveryError):
+            load_snapshot_state(service.journal)
+
+    def test_serialized_state_is_json_round_trippable(self, tmp_path):
+        service = _durable_system(tmp_path)
+        service.book_request(_request(service, 1))
+        state = serialize_state(service)
+        assert json.loads(json.dumps(state)) == state
