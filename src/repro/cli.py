@@ -34,7 +34,8 @@ from repro.model.request import Request
 from repro.roadnet.generators import grid_network
 from repro.roadnet.grid_index import GridIndex
 from repro.roadnet.routing import ROUTING_BACKENDS, TREE_PROVIDERS, make_engine
-from repro.service.api import build_system
+from repro.service.api import PTRiderService, build_system
+from repro.service.journal import ServiceJournal
 from repro.sim.engine import SimulationEngine
 from repro.sim.trips import ShanghaiLikeTripGenerator
 from repro.sim.workload import RequestWorkload, random_requests
@@ -89,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-interval", type=int, default=0, metavar="N",
         help="journal records between automatic snapshots under "
         "journal+snapshot (0 keeps the config default)",
+    )
+    demo.add_argument(
+        "--resume", action="store_true",
+        help="warm-restart from --journal's directory when it already holds "
+        "state (PTRiderService.recover restores the newest snapshot and "
+        "replays the tail); a fresh directory builds a new durable service",
     )
 
     simulate = subparsers.add_parser("simulate", help="run a workload simulation")
@@ -145,6 +152,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-policy", choices=("shed", "block"), default="shed",
         help="what a full ingest queue does with the next admission: shed "
         "refuses it, block flushes the pending window inline to free capacity",
+    )
+    simulate.add_argument(
+        "--worker-timeout", type=float, default=30.0,
+        help="seconds a dispatch worker may stay silent before the watchdog "
+        "declares it hung, kills it and re-dispatches its shard in-process",
+    )
+    simulate.add_argument(
+        "--max-dispatch-retries", type=int, default=1,
+        help="retry attempts for a failed batch hand-off against a freshly "
+        "spawned worker pool (0 disables retry)",
+    )
+    simulate.add_argument(
+        "--latency-budget", type=float, default=0.0,
+        help="force-close the ingest window when the oldest admission is "
+        "within this many time units of its deadline (0 disables)",
     )
 
     compare = subparsers.add_parser("compare", help="compare matcher work on one request burst")
@@ -203,38 +225,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 # ----------------------------------------------------------------------
 def _run_demo(args: argparse.Namespace) -> int:
-    system = build_system(
-        network_rows=args.rows,
-        network_columns=args.columns,
-        vehicles=args.vehicles,
-        seed=args.seed,
-        routing=args.routing,
-        routing_cache=args.routing_cache,
-        tree_provider=args.tree_provider,
-        durability=args.durability if args.durability != "off" else None,
-        journal_path=args.journal_path,
-        snapshot_interval=args.snapshot_interval or None,
-    )
-    rng = random.Random(args.seed)
-    vertices = system.fleet.grid.network.vertices()
-    start, destination = rng.sample(vertices, 2)
-    booking = system.book(start, destination, riders=args.riders)
-    print(f"Request: {booking.request.describe()}")
-    if not booking.options:
-        print("No vehicle can serve this request right now.")
-        return 1
-    print(f"{len(booking.options)} non-dominated option(s):")
-    for index, option in enumerate(booking.options):
-        print(
-            f"  [{index}] vehicle {option.vehicle_id}: pick-up distance {option.pickup_distance:.2f}, "
-            f"price {option.price:.2f}"
+    system = None
+    if args.resume:
+        if not args.journal_path:
+            print("--resume requires --journal DIR", file=sys.stderr)
+            return 2
+        probe = ServiceJournal(args.journal_path)
+        fresh = probe.is_fresh()
+        probe.close()
+        if not fresh:
+            # Warm restart: the journal already holds state, so rebuild the
+            # service from it (newest snapshot + tail replay) instead of
+            # refusing the directory as build_system would.
+            system = PTRiderService.recover(args.journal_path)
+            print(
+                f"Resumed from journal {args.journal_path} "
+                f"(t={system.current_time:.1f}, {len(system.vehicle_ids())} vehicles)"
+            )
+    if system is None:
+        durability = args.durability if args.durability != "off" else None
+        if args.resume and durability is None:
+            # --resume on a fresh directory still means "be durable": the
+            # whole point is that the *next* run can warm-restart from it.
+            durability = "journal"
+        system = build_system(
+            network_rows=args.rows,
+            network_columns=args.columns,
+            vehicles=args.vehicles,
+            seed=args.seed,
+            routing=args.routing,
+            routing_cache=args.routing_cache,
+            tree_provider=args.tree_provider,
+            durability=durability,
+            journal_path=args.journal_path,
+            snapshot_interval=args.snapshot_interval or None,
         )
-    chosen = system.choose(booking.booking_id, 0)
-    print(f"Chose option 0 (vehicle {chosen.vehicle_id}).")
-    print("Vehicle schedules (kinetic-tree branches):")
-    for schedule in system.vehicle_schedules(chosen.vehicle_id):
-        print("  " + " -> ".join(f"{kind}:{request}@{vertex}" for vertex, kind, request in schedule))
-    return 0
+    try:
+        rng = random.Random(args.seed)
+        vertices = system.fleet.grid.network.vertices()
+        start, destination = rng.sample(vertices, 2)
+        booking = system.book(start, destination, riders=args.riders)
+        print(f"Request: {booking.request.describe()}")
+        if not booking.options:
+            print("No vehicle can serve this request right now.")
+            return 1
+        print(f"{len(booking.options)} non-dominated option(s):")
+        for index, option in enumerate(booking.options):
+            print(
+                f"  [{index}] vehicle {option.vehicle_id}: pick-up distance {option.pickup_distance:.2f}, "
+                f"price {option.price:.2f}"
+            )
+        chosen = system.choose(booking.booking_id, 0)
+        print(f"Chose option 0 (vehicle {chosen.vehicle_id}).")
+        print("Vehicle schedules (kinetic-tree branches):")
+        for schedule in system.vehicle_schedules(chosen.vehicle_id):
+            print("  " + " -> ".join(f"{kind}:{request}@{vertex}" for vertex, kind, request in schedule))
+        return 0
+    finally:
+        if system.journal is not None:
+            # Snapshot at the exit position so the next --resume restores
+            # without replaying this session's records.
+            system.snapshot()
+        system.close()
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
@@ -259,6 +311,9 @@ def _run_simulate(args: argparse.Namespace) -> int:
         batch_window=args.batch_window, max_batch_size=args.max_batch_size,
         queue_capacity=args.queue_capacity or None,
         queue_policy=args.queue_policy,
+        worker_timeout=args.worker_timeout,
+        max_dispatch_retries=args.max_dispatch_retries,
+        latency_budget=args.latency_budget or None,
     )
     matcher = {
         "single_side": SingleSideSearchMatcher,

@@ -114,6 +114,20 @@ class SystemConfig:
         snapshot_interval: journal records between automatic snapshots
             under "journal+snapshot" (>= 1).  Smaller values bound
             recovery replay tighter at the cost of more snapshot writes.
+        worker_timeout: wall seconds the parent waits on a dispatch worker's
+            pipe before declaring it hung, killing it, and re-dispatching its
+            work in-process (byte-identical fallback).  Turn replies double
+            as the per-shard heartbeat, so this bounds how long a wedged
+            worker can stall a batch.
+        max_dispatch_retries: how many times a failed ``begin_batch`` is
+            retried against a freshly spawned pool (with a short backoff)
+            before the batch falls back in-process.  ``0`` disables retry.
+        latency_budget: optional latency slack, in the same time units as
+            ``batch_window``.  When set, the micro-batcher force-closes the
+            pending window as soon as the oldest admission is within this
+            budget of its deadline (``admit_time + max_waiting / speed``),
+            so a long ``batch_window`` cannot silently blow a rider's
+            deadline.  ``None`` disables the deadline-driven close.
     """
 
     vehicle_capacity: int = 4
@@ -136,6 +150,9 @@ class SystemConfig:
     durability: str = "off"
     journal_path: Optional[str] = None
     snapshot_interval: int = 1000
+    worker_timeout: float = 30.0
+    max_dispatch_retries: int = 1
+    latency_budget: Optional[float] = None
 
     _VALID_MATCHERS = ("single_side", "dual_side", "naive")
     _VALID_QUEUE_POLICIES = ("shed", "block")
@@ -207,6 +224,18 @@ class SystemConfig:
         if self.snapshot_interval < 1:
             raise ConfigurationError(
                 f"snapshot_interval must be >= 1, got {self.snapshot_interval}"
+            )
+        if self.worker_timeout <= 0:
+            raise ConfigurationError(
+                f"worker_timeout must be positive, got {self.worker_timeout}"
+            )
+        if self.max_dispatch_retries < 0:
+            raise ConfigurationError(
+                f"max_dispatch_retries must be >= 0, got {self.max_dispatch_retries}"
+            )
+        if self.latency_budget is not None and self.latency_budget <= 0:
+            raise ConfigurationError(
+                f"latency_budget must be positive or None, got {self.latency_budget}"
             )
 
     def with_updates(self, **changes: object) -> "SystemConfig":

@@ -57,7 +57,65 @@ from repro.roadnet.graph import VertexId
 from repro.vehicles.fleet import Fleet
 from repro.vehicles.schedule import evaluate_schedule
 
-__all__ = ["OptionPolicy", "DispatchOutcome", "Dispatcher"]
+__all__ = ["OptionPolicy", "DispatchOutcome", "DispatchHealth", "Dispatcher"]
+
+#: consecutive batch failures that open the circuit breaker (module-level so
+#: tests can tighten it; only ``worker_timeout`` / ``max_dispatch_retries``
+#: are per-config knobs)
+BREAKER_THRESHOLD = 3
+
+#: seconds an open breaker holds before a half-open re-probe is allowed
+BREAKER_COOLDOWN_SECONDS = 30.0
+
+#: base backoff before a dispatch retry (multiplied by the attempt number)
+RETRY_BACKOFF_SECONDS = 0.05
+
+
+@dataclass
+class DispatchHealth:
+    """Failure-containment counters of one dispatcher.
+
+    Tracks the worker watchdog and the pool circuit breaker:
+    ``closed`` -> (``BREAKER_THRESHOLD`` consecutive batch failures) ->
+    ``open`` -> (cooldown elapses) -> ``half_open`` -> one probe batch ->
+    ``closed`` on success / back to ``open`` on failure.  While open, no
+    pool is spawned and every batch runs in-process -- a persistently sick
+    environment stops paying spawn costs, without giving up on recovery.
+    Surfaced (``dispatch_``-prefixed) through
+    :meth:`repro.service.api.PTRiderService.routing_statistics`.
+    """
+
+    #: workers forcibly killed (watchdog expiries and close escalations)
+    worker_kills: int = 0
+    #: reply waits that hit ``worker_timeout`` (each kills the hung worker)
+    worker_timeouts: int = 0
+    #: broken pools replaced by a freshly spawned one
+    pool_respawns: int = 0
+    #: batches (or begin attempts) a pool failed to serve
+    batch_failures: int = 0
+    #: failed ``begin_batch`` attempts retried against a fresh pool
+    dispatch_retries: int = 0
+    #: times the breaker tripped open (including half-open re-trips)
+    breaker_opens: int = 0
+    #: current run of batch failures without an intervening success
+    consecutive_failures: int = 0
+    #: "closed", "open" or "half_open"
+    breaker_state: str = "closed"
+    #: ``time.monotonic()`` of the most recent trip (cooldown anchor)
+    opened_at: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Counters as floats plus the breaker state string (stats panels)."""
+        return {
+            "worker_kills": float(self.worker_kills),
+            "worker_timeouts": float(self.worker_timeouts),
+            "pool_respawns": float(self.pool_respawns),
+            "batch_failures": float(self.batch_failures),
+            "dispatch_retries": float(self.dispatch_retries),
+            "breaker_opens": float(self.breaker_opens),
+            "consecutive_failures": float(self.consecutive_failures),
+            "breaker_state": self.breaker_state,
+        }
 
 
 class OptionPolicy(enum.Enum):
@@ -149,6 +207,8 @@ class Dispatcher:
         #: and batch paths alike) -- the durability journal's annotation
         #: hook; unlike ``on_outcome`` it is attached once, not per call
         self.outcome_listener: Optional[Callable[[DispatchOutcome], None]] = None
+        #: watchdog / breaker / retry counters (failure containment)
+        self.health = DispatchHealth()
 
     @property
     def fleet(self) -> Fleet:
@@ -390,8 +450,18 @@ class Dispatcher:
         worker_count = workers if workers is not None else self._config.dispatch_workers
 
         pool = self._acquire_pool(worker_count)
-        if pool is not None and not pool.begin_batch(request_list, batch, shard_count, self._fleet):
-            pool = None  # shipping failed; the whole batch runs in-process
+        watchdog_before = (0, 0)
+        if pool is not None:
+            watchdog_before = (pool.worker_kills, pool.worker_timeouts)
+            if not pool.begin_batch(request_list, batch, shard_count, self._fleet):
+                # Shipping failed: charge the failure, retry against a fresh
+                # pool (transient failures -- a killed worker, a flaky spawn
+                # -- usually clear), else the whole batch runs in-process.
+                self._fold_pool_watchdog(pool, watchdog_before)
+                self._record_batch_failure()
+                pool = self._retry_begin_batch(request_list, batch, shard_count, worker_count)
+                if pool is not None:
+                    watchdog_before = (pool.worker_kills, pool.worker_timeouts)
         statistics = batch.statistics
         ipc_before = pool.ipc_seconds if pool is not None else 0.0
         if pool is not None:
@@ -457,6 +527,11 @@ class Dispatcher:
                 pool.finish_batch(self._matcher.statistics, self._fleet.routing_engine.stats)
                 statistics.ipc_seconds = pool.ipc_seconds - ipc_before
                 statistics.shard_wall_seconds = tuple(shard_walls)
+                self._fold_pool_watchdog(pool, watchdog_before)
+                if pool.broken:
+                    self._record_batch_failure()
+                else:
+                    self._record_batch_success()
         return outcomes
 
     def _prepare_batch(
@@ -557,19 +632,32 @@ class Dispatcher:
         replaced after a failure.  A combination that failed to *start* is
         remembered and not retried, so an environment without shared-memory
         support pays the probe exactly once.
+
+        The circuit breaker gates everything: while *open* (and inside the
+        cooldown) no pool is offered, so a persistently failing environment
+        stops paying spawn attempts; once the cooldown elapses the breaker
+        goes *half-open* and exactly the next batch probes a fresh pool.
         """
         if worker_count <= 1 or not self._matcher.supports_sharding:
             self._expire_idle_pool()
             return None
+        health = self.health
+        if health.breaker_state == "open":
+            if time.monotonic() - health.opened_at < BREAKER_COOLDOWN_SECONDS:
+                self._expire_idle_pool()
+                return None
+            health.breaker_state = "half_open"
         engine = self._fleet.routing_engine
         token = (id(engine), worker_count, self._matcher.name)
         pool = self._pool
+        respawn = False
         if pool is not None and (
             pool.broken
             or pool.workers != worker_count
             or pool.engine_token != id(engine)
             or time.monotonic() - pool.last_used > pool.idle_timeout
         ):
+            respawn = pool.broken
             pool.close()
             self._pool = pool = None
         if pool is None:
@@ -582,13 +670,77 @@ class Dispatcher:
                 self._matcher.name,
                 self._matcher.price_model,
                 worker_count,
+                worker_timeout=self._config.worker_timeout,
             )
             if not pool.ensure_started():
                 pool.close()
                 self._pool_disabled_token = token
                 return None
+            if respawn:
+                health.pool_respawns += 1
             self._pool = pool
         return pool
+
+    def _retry_begin_batch(
+        self,
+        request_list: List[Request],
+        batch: BatchContext,
+        shard_count: int,
+        worker_count: int,
+    ) -> Optional[ParallelDispatchPool]:
+        """Retry a failed ``begin_batch`` against freshly spawned pools.
+
+        Up to ``SystemConfig.max_dispatch_retries`` attempts, each after a
+        short linear backoff; the broken pool is replaced by
+        :meth:`_acquire_pool` (which also respects the breaker -- a failure
+        that tripped it open stops the retries immediately).  Returns the
+        pool that accepted the batch, or ``None`` to run in-process.
+        """
+        health = self.health
+        for attempt in range(max(0, self._config.max_dispatch_retries)):
+            time.sleep(RETRY_BACKOFF_SECONDS * (attempt + 1))
+            pool = self._acquire_pool(worker_count)
+            if pool is None:
+                break
+            health.dispatch_retries += 1
+            watchdog_before = (pool.worker_kills, pool.worker_timeouts)
+            if pool.begin_batch(request_list, batch, shard_count, self._fleet):
+                return pool
+            self._fold_pool_watchdog(pool, watchdog_before)
+            self._record_batch_failure()
+        return None
+
+    def _fold_pool_watchdog(
+        self, pool: ParallelDispatchPool, before: Tuple[int, int]
+    ) -> None:
+        """Accumulate a pool's watchdog counters (delta since ``before``)."""
+        self.health.worker_kills += pool.worker_kills - before[0]
+        self.health.worker_timeouts += pool.worker_timeouts - before[1]
+
+    def _record_batch_failure(self) -> None:
+        """One failed pooled batch (or begin attempt): maybe trip the breaker.
+
+        A failure in *half-open* re-trips immediately -- the probe batch is
+        the re-closing condition, so its failure proves the environment is
+        still sick.
+        """
+        health = self.health
+        health.batch_failures += 1
+        health.consecutive_failures += 1
+        if (
+            health.breaker_state == "half_open"
+            or health.consecutive_failures >= BREAKER_THRESHOLD
+        ):
+            if health.breaker_state != "open":
+                health.breaker_opens += 1
+            health.breaker_state = "open"
+            health.opened_at = time.monotonic()
+
+    def _record_batch_success(self) -> None:
+        """One pooled batch served cleanly: reset the failure run, close the breaker."""
+        health = self.health
+        health.consecutive_failures = 0
+        health.breaker_state = "closed"
 
     def _expire_idle_pool(self) -> None:
         """Tear down a pool that broke or sat unused past its idle timeout."""

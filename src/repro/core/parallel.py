@@ -36,6 +36,18 @@ worker crash mid-batch -- degrades to the in-process path.  The parent fleet
 is always current (commits happen there), so a batch can switch from remote
 to local collection between two requests without changing a single byte of
 output.
+
+The same policy covers *hangs*: every reply wait doubles as a per-shard
+heartbeat check.  When :attr:`ParallelDispatchPool.worker_timeout` is set
+and a worker sends nothing within it, the worker is declared wedged, killed
+(``SIGKILL`` -- polite termination is exactly what a wedged process
+ignores) and the batch continues on the in-process path, byte-identically.
+``close()`` escalates join -> terminate -> kill for the same reason: a
+worker that outlives the parent would leak its attached ``/dev/shm``
+segments.  Fault injection for all of this lives in
+:mod:`repro.service.faults` (imported lazily to keep the core free of
+service-layer imports); the instrumented points here are ``pool.begin``
+(parent side), ``worker.batch`` and ``worker.turn`` (worker side).
 """
 
 from __future__ import annotations
@@ -79,14 +91,35 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_WORKER_TIMEOUT",
     "ParallelDispatchPool",
     "SharedArrayPack",
+    "WorkerTimeoutError",
     "attach_shared_arrays",
     "parallel_available",
 ]
 
 #: seconds of disuse after which the dispatcher tears a pool down
 DEFAULT_IDLE_TIMEOUT = 300.0
+
+#: default watchdog bound on a worker reply (seconds of silence on the pipe
+#: before the worker is declared hung and killed)
+DEFAULT_WORKER_TIMEOUT = 30.0
+
+#: floor on the ready-wait at spawn time: cold-starting a worker (interpreter
+#: boot, numpy import, segment attach) legitimately takes longer than a tight
+#: ``worker_timeout``, which only measures in-batch reply silence
+STARTUP_TIMEOUT = 120.0
+
+#: how long ``close()`` waits for a polite exit before escalating
+CLOSE_JOIN_TIMEOUT = 2.0
+
+#: per-escalation-step join wait (after ``terminate()`` and after ``kill()``)
+CLOSE_ESCALATION_TIMEOUT = 1.0
+
+
+class WorkerTimeoutError(RuntimeError):
+    """A pool worker sent no reply within ``worker_timeout`` seconds."""
 
 #: matcher registry mirrored worker-side (the service layer keeps its own);
 #: pools refuse to start for matchers outside it and fall back in-process
@@ -296,7 +329,7 @@ def _worker_release_batch(state: dict) -> dict:
     return {"contexts": {}, "views": [], "plane_handles": []}
 
 
-def _worker_main(connection, payload: dict) -> None:
+def _worker_main(connection, payload: dict, position: int = 0) -> None:
     """Worker-process entry point: attach, mirror, answer turn commands.
 
     Protocol (all replies tuple-tagged):
@@ -306,7 +339,18 @@ def _worker_main(connection, payload: dict) -> None:
       ``("close",)``           -> process exits
     Any exception is reported as ``("error", traceback)`` instead of killing
     the protocol; the parent treats it as a pool failure and falls back.
+
+    When the spawn payload carries ``fault_specs`` (the chaos harness was
+    active in the parent), a :class:`repro.service.faults.FaultPlan` is
+    rebuilt here and fired at ``worker.batch`` / ``worker.turn`` with this
+    worker's position -- occurrence counters start at zero per spawn, so a
+    schedule addresses "worker 1's third turn" deterministically.
     """
+    fault_plan = None
+    if payload.get("fault_specs"):
+        from repro.service.faults import FaultPlan
+
+        fault_plan = FaultPlan(payload["fault_specs"])
     handles: List[object] = []
     try:
         arrays, handles = attach_shared_arrays(payload["manifest"])
@@ -342,10 +386,14 @@ def _worker_main(connection, payload: dict) -> None:
             if kind == "close":
                 break
             if kind == "batch":
+                if fault_plan is not None:
+                    fault_plan.fire("worker.batch", position=position)
                 state = _worker_release_batch(state)
                 state = _worker_begin_batch(command[1], engine, grid, fleet)
                 connection.send(("ok",))
             elif kind == "turn":
+                if fault_plan is not None:
+                    fault_plan.fire("worker.turn", position=position)
                 index, dirty = command[1], command[2]
                 started = time.perf_counter()
                 for snapshot in dirty:
@@ -433,6 +481,7 @@ class ParallelDispatchPool:
         price_model: object,
         workers: int,
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        worker_timeout: Optional[float] = DEFAULT_WORKER_TIMEOUT,
     ) -> None:
         self._engine = engine
         self._grid = grid
@@ -441,6 +490,12 @@ class ParallelDispatchPool:
         self._price_model = price_model
         self.workers = int(workers)
         self.idle_timeout = idle_timeout
+        #: watchdog bound on each reply wait (``None`` waits forever)
+        self.worker_timeout = worker_timeout
+        #: hung-worker reply waits that expired (each one kills the worker)
+        self.worker_timeouts = 0
+        #: workers forcibly killed (watchdog expiries and close escalations)
+        self.worker_kills = 0
         #: identity of the engine the published segments were exported from
         self.engine_token = id(engine)
         #: set on any failure; the pool never recovers, the dispatcher replaces it
@@ -485,6 +540,8 @@ class ParallelDispatchPool:
         except (RuntimeError, OSError, ValueError):
             self.broken = True
             return False
+        from repro.service.faults import active_specs  # lazy: avoids an import cycle
+
         payload = {
             "manifest": self._pack.manifest,
             "backend": self._engine.backend,
@@ -496,17 +553,25 @@ class ParallelDispatchPool:
             "price_model": self._price_model,
             "matcher_name": self._matcher_name,
             "max_cached_sources": getattr(self._engine, "_max_cached_sources", 1024),
+            "fault_specs": active_specs(),
         }
         context = multiprocessing.get_context("spawn")
         try:
-            for _ in range(self.workers):
+            for position in range(self.workers):
                 parent_end, child_end = context.Pipe(duplex=True)
-                process = context.Process(target=_worker_main, args=(child_end, payload), daemon=True)
+                process = context.Process(
+                    target=_worker_main, args=(child_end, payload, position), daemon=True
+                )
                 process.start()
                 child_end.close()
                 self._processes.append((process, parent_end))
-            for _, conn in self._processes:
-                reply = conn.recv()  # blocks until the worker finished attaching
+            startup_bound = None
+            if self.worker_timeout is not None:
+                startup_bound = max(self.worker_timeout, STARTUP_TIMEOUT)
+            for position in range(len(self._processes)):
+                # blocks until the worker finished attaching; bounded by the
+                # startup floor, not the (possibly much tighter) batch watchdog
+                reply = self._recv(position, timeout=startup_bound)
                 if reply[0] != "ready":
                     raise RuntimeError(reply[1] if len(reply) > 1 else "worker failed to start")
         except Exception:
@@ -517,8 +582,50 @@ class ParallelDispatchPool:
         self.last_used = time.monotonic()
         return True
 
+    # -- watchdog ------------------------------------------------------
+    _UNSET = object()
+
+    def _recv(self, position: int, timeout: object = _UNSET):
+        """Receive one reply from a worker, bounded by :attr:`worker_timeout`.
+
+        Every reply wait is a heartbeat check: a worker that sends nothing
+        within the timeout is wedged (a crash would close the pipe and
+        surface immediately as ``EOFError``), so it is killed on the spot --
+        ``SIGKILL``, because a wedged process is exactly the one ignoring
+        polite signals -- and :class:`WorkerTimeoutError` is raised for the
+        caller's failure path to mark the pool broken and fall back.
+        ``timeout`` overrides the per-pool bound for waits with different
+        latency expectations (the spawn-time ready-wait); ``None`` disables
+        the bound for that wait.
+        """
+        bound = self.worker_timeout if timeout is self._UNSET else timeout
+        _, conn = self._processes[position]
+        if bound is not None and not conn.poll(bound):
+            self.worker_timeouts += 1
+            self._kill_worker(position)
+            raise WorkerTimeoutError(
+                f"worker {position} sent no heartbeat for {bound:.1f}s"
+            )
+        return conn.recv()
+
+    def _kill_worker(self, position: int) -> None:
+        """SIGKILL one worker and reap it (counted in :attr:`worker_kills`)."""
+        process, _ = self._processes[position]
+        try:
+            process.kill()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        process.join(timeout=CLOSE_ESCALATION_TIMEOUT)
+        self.worker_kills += 1
+
     def close(self) -> None:
-        """Stop the workers and unlink every shared segment (idempotent)."""
+        """Stop the workers and unlink every shared segment (idempotent).
+
+        Escalates per worker: polite close message + join, then
+        ``terminate()`` (SIGTERM), then ``kill()`` (SIGKILL) -- a wedged
+        worker that ignores SIGTERM still cannot outlive the parent or keep
+        the published ``/dev/shm`` segments referenced.
+        """
         for _, conn in self._processes:
             _safe_send(conn, ("close",))
         for process, conn in self._processes:
@@ -526,10 +633,14 @@ class ParallelDispatchPool:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
-            process.join(timeout=2.0)
+            process.join(timeout=CLOSE_JOIN_TIMEOUT)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
-                process.join(timeout=1.0)
+                process.join(timeout=CLOSE_ESCALATION_TIMEOUT)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.kill()
+                process.join(timeout=CLOSE_ESCALATION_TIMEOUT)
+                self.worker_kills += 1
         self._processes = []
         self._started = False
         if self._plane_pack is not None:
@@ -547,6 +658,13 @@ class ParallelDispatchPool:
         fails; the caller then runs the whole batch in-process.
         """
         if not self.ensure_started():
+            return False
+        try:
+            from repro.service.faults import fire as _fire_fault
+
+            _fire_fault("pool.begin")  # chaos-harness hook: may raise FaultInjected
+        except Exception:
+            self.broken = True
             return False
         started = time.perf_counter()
         plane_manifest = None
@@ -589,7 +707,7 @@ class ParallelDispatchPool:
                     )
                 )
             for position in active:
-                reply = self._processes[position][1].recv()
+                reply = self._recv(position)
                 if reply[0] != "ok":
                     raise RuntimeError(reply[1] if len(reply) > 1 else "batch setup failed")
         except Exception:
@@ -618,7 +736,7 @@ class ParallelDispatchPool:
             results: Dict[int, Tuple[list, float]] = {}
             compute = 0.0
             for position in self._batch_active:
-                reply = self._processes[position][1].recv()
+                reply = self._recv(position)
                 if reply[0] != "skylines" or reply[1] != index:
                     raise RuntimeError(reply[1] if reply[0] == "error" else f"protocol desync at turn {index}")
                 for shard, options, seconds in reply[2]:
@@ -661,7 +779,7 @@ class ParallelDispatchPool:
                 for position in self._batch_active:
                     self._processes[position][1].send(("finish",))
                 for position in self._batch_active:
-                    reply = self._processes[position][1].recv()
+                    reply = self._recv(position)
                     if reply[0] != "stats":
                         raise RuntimeError(reply[1] if len(reply) > 1 else "finish failed")
                     _fold_matcher_delta(matcher_statistics, reply[1])

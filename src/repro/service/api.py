@@ -746,26 +746,39 @@ class PTRiderService:
         drained queue has nothing left to drain); the service remains
         usable afterwards -- a later dispatch simply reacquires its pool,
         and the journal connection reopens lazily.
+
+        Exception-safe: the drain runs through the batcher's
+        :meth:`~repro.service.ingest.MicroBatcher.drain` (a failing flush
+        consumes one request as errored and the loop keeps draining), and
+        the journal and dispatcher are released in a ``finally`` -- a
+        poisoned window can cost individual answers but never leaks the
+        worker pool or leaves the journal connection open.
         """
-        if self._batcher.pending:
-            moment = self._engine.time
-            self._journal_command("drain", {"now": moment, "close": True})
-            self._close_drain(moment)
-            self._finish_command()
-        if self._journal is not None:
-            self._journal.close()
-        self._dispatcher.close()
+        try:
+            if self._batcher.pending:
+                moment = self._engine.time
+                self._journal_command("drain", {"now": moment, "close": True})
+                self._close_drain(moment)
+                self._finish_command()
+        finally:
+            if self._journal is not None:
+                self._journal.close()
+            self._dispatcher.close()
 
     def _close_drain(self, now: float) -> None:
         """Drain the pending window on shutdown, counting what it held.
 
         Shared by :meth:`close` and the replay of its ``drain`` record
         (``"close": true`` payload), so a recovery that replays past a
-        close reproduces the same ``close_drained`` counter.
+        close reproduces the same ``close_drained`` counter.  Requests a
+        failing flush loses mid-drain count as errored, not close-drained
+        (they were never answered).
         """
         drained = self._batcher.pending
-        self._batcher.flush(now=now)
-        self._batcher.statistics.close_drained += drained
+        errored_before = self._batcher.statistics.errored
+        self._batcher.drain(now=now)
+        errored_delta = self._batcher.statistics.errored - errored_before
+        self._batcher.statistics.close_drained += drained - errored_delta
         self._ingest_answered = []
 
     def __enter__(self) -> "PTRiderService":
@@ -854,6 +867,12 @@ class PTRiderService:
         last batch; 0.0 means it ran in-process) and ``ipc_seconds`` (wall
         time the last batch spent shipping requests out and skylines back
         over the pipes rather than computing).
+
+        Failure containment appears under a ``dispatch_`` prefix: the
+        watchdog's ``worker_kills`` / ``worker_timeouts``, pool
+        ``pool_respawns``, ``batch_failures`` / ``dispatch_retries`` and
+        the circuit breaker's ``breaker_state`` / ``breaker_opens`` (see
+        :class:`~repro.core.dispatcher.DispatchHealth`).
         """
         engine = self._fleet.routing_engine
         stats = getattr(engine, "stats", None)
@@ -886,6 +905,11 @@ class PTRiderService:
         payload["ingest_queue_depth"] = float(self._batcher.pending)
         for key, value in self._batcher.statistics.as_dict().items():
             payload[f"ingest_{key}"] = value
+        # Failure-containment health: watchdog kills/timeouts, pool
+        # respawns, batch failures, retries and the circuit breaker's
+        # state ("closed" / "open" / "half_open") and open count.
+        for key, value in self._dispatcher.health.as_dict().items():
+            payload[f"dispatch_{key}"] = value
         return payload
 
     def set_parameters(
@@ -904,6 +928,9 @@ class PTRiderService:
         max_batch_size: Optional[int] = None,
         queue_capacity: Optional[int] = None,
         queue_policy: Optional[str] = None,
+        worker_timeout: Optional[float] = None,
+        max_dispatch_retries: Optional[int] = None,
+        latency_budget: Optional[float] = None,
     ) -> SystemConfig:
         """The admin form: update global parameters and/or swap the matcher.
 
@@ -928,6 +955,12 @@ class PTRiderService:
         pending window is drained (flushed, never dropped) before the
         batcher is rebuilt on the new knobs.  ``queue_capacity=0`` removes
         the bound (maps to ``None``: unbounded).
+
+        ``worker_timeout`` / ``max_dispatch_retries`` tune the failure
+        containment of the parallel dispatch path (watchdog heartbeat
+        deadline, retry attempts against a fresh pool);
+        ``latency_budget`` sets the deadline-driven window close of the
+        ingest path (``0`` disables it, mapping to ``None``).
         """
         provided = {
             name: value
@@ -946,6 +979,9 @@ class PTRiderService:
                 ("max_batch_size", max_batch_size),
                 ("queue_capacity", queue_capacity),
                 ("queue_policy", queue_policy),
+                ("worker_timeout", worker_timeout),
+                ("max_dispatch_retries", max_dispatch_retries),
+                ("latency_budget", latency_budget),
             )
             if value is not None
         }
@@ -973,6 +1009,12 @@ class PTRiderService:
             changes["queue_capacity"] = None if queue_capacity == 0 else queue_capacity
         if queue_policy is not None:
             changes["queue_policy"] = queue_policy
+        if worker_timeout is not None:
+            changes["worker_timeout"] = worker_timeout
+        if max_dispatch_retries is not None:
+            changes["max_dispatch_retries"] = max_dispatch_retries
+        if latency_budget is not None:
+            changes["latency_budget"] = None if latency_budget == 0 else latency_budget
         if matcher_name is not None:
             if matcher_name not in MATCHER_REGISTRY:
                 raise ConfigurationError(
@@ -1076,6 +1118,9 @@ def build_system(
     max_batch_size: Optional[int] = None,
     queue_capacity: Optional[int] = None,
     queue_policy: Optional[str] = None,
+    worker_timeout: Optional[float] = None,
+    max_dispatch_retries: Optional[int] = None,
+    latency_budget: Optional[float] = None,
     durability: Optional[str] = None,
     journal_path: Optional[str] = None,
     snapshot_interval: Optional[int] = None,
@@ -1108,6 +1153,15 @@ def build_system(
             defaults to the config's ``queue_capacity``.
         queue_policy: full-queue policy override ("shed" or "block");
             defaults to the config's ``queue_policy``.
+        worker_timeout: dispatch-worker heartbeat deadline override (wall
+            seconds before a silent worker is declared hung and killed);
+            defaults to the config's ``worker_timeout``.
+        max_dispatch_retries: retry attempts for a failed ``begin_batch``
+            against a freshly spawned pool (``0`` disables retry);
+            defaults to the config's ``max_dispatch_retries``.
+        latency_budget: deadline-driven window close for the ingest path
+            (``0`` disables it); defaults to the config's
+            ``latency_budget``.
         durability: durability mode override ("off", "journal" or
             "journal+snapshot"); defaults to the config's ``durability``.
         journal_path: journal directory override (required when durability
@@ -1141,6 +1195,19 @@ def build_system(
             system_config = system_config.with_updates(queue_capacity=bound)
     if queue_policy is not None and queue_policy != system_config.queue_policy:
         system_config = system_config.with_updates(queue_policy=queue_policy)
+    if worker_timeout is not None and worker_timeout != system_config.worker_timeout:
+        system_config = system_config.with_updates(worker_timeout=worker_timeout)
+    if (
+        max_dispatch_retries is not None
+        and max_dispatch_retries != system_config.max_dispatch_retries
+    ):
+        system_config = system_config.with_updates(
+            max_dispatch_retries=max_dispatch_retries
+        )
+    if latency_budget is not None:
+        budget = None if latency_budget == 0 else latency_budget
+        if budget != system_config.latency_budget:
+            system_config = system_config.with_updates(latency_budget=budget)
     durability_changes: Dict[str, object] = {}
     if journal_path is not None and journal_path != system_config.journal_path:
         durability_changes["journal_path"] = journal_path

@@ -1,0 +1,238 @@
+"""Deterministic fault injection for the serving path (the chaos harness).
+
+A :class:`FaultPlan` is a seeded, fully deterministic schedule of fault
+injections keyed on *named fire points* scattered through the serving path.
+Production code calls :func:`fire` at each point; when no plan is installed
+the call is a single global ``None`` check, so the instrumentation is free.
+When a plan is installed (``faults.install(plan)`` or ``with plan:``) each
+``fire`` looks up the specs registered for that point and executes the
+matching actions.
+
+Fire points currently instrumented:
+
+===================  =========================================================
+point                where it fires
+===================  =========================================================
+``worker.batch``     inside a pool worker, on receiving a ``batch`` command
+``worker.turn``      inside a pool worker, before computing a turn's shards
+``pool.begin``       parent side of :meth:`ParallelDispatchPool.begin_batch`
+``ingest.flush``     inside :meth:`MicroBatcher._flush`, before dispatch
+``journal.append``   inside :meth:`ServiceJournal.append` (``tag`` = kind)
+===================  =========================================================
+
+Actions:
+
+* ``"sleep"`` -- delay for :attr:`FaultSpec.seconds` (a slow worker or a
+  slow flush; inflates latency but changes no outcome);
+* ``"stall"`` -- ignore ``SIGTERM`` and sleep for a very long time: a
+  *wedged* process that only ``SIGKILL`` removes.  Worker-side points only
+  (parent-side stalls would wedge the service itself);
+* ``"kill"`` -- ``os._exit``: an abrupt crash with no cleanup;
+* ``"error"`` -- raise :class:`FaultInjected` (a transient failure the
+  caller may retry).
+
+Determinism: every ``fire(point, position=..., tag=...)`` call site key
+keeps its own monotonically increasing occurrence counter, and a spec only
+executes when the current occurrence index is listed in its ``at`` tuple.
+Counters live in the plan instance, so a plan shipped to a freshly spawned
+worker counts that worker's occurrences from zero -- a spec targeting
+``position=1, at=(3,)`` always means "worker 1's fourth turn since it
+started", independent of scheduling order.  :meth:`FaultPlan.seeded` draws
+the occurrence indices from :class:`random.Random`, giving a reproducible
+pseudo-random schedule from a single seed.
+
+This module is imported from ``repro.core.parallel`` (lazily) and from the
+service layer; to stay cycle-free it must import nothing from ``repro``
+beyond :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "active",
+    "active_specs",
+    "clear",
+    "fire",
+    "install",
+]
+
+#: Valid :attr:`FaultSpec.action` values.
+ACTIONS = ("sleep", "stall", "kill", "error")
+
+#: How long a ``"stall"`` sleeps when the spec gives no ``seconds``: long
+#: enough that only the watchdog (or ``SIGKILL``) ends it.
+STALL_SECONDS = 3600.0
+
+#: Exit status of a ``"kill"`` action -- distinctive in worker post-mortems.
+KILL_EXIT_CODE = 170
+
+
+class FaultInjected(ServiceError):
+    """The error raised by an ``"error"`` fault: a transient, retryable fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: *what* happens, *where*, and on which occurrences.
+
+    Args:
+        point: the fire-point name (``"worker.turn"``, ``"journal.append"``, ...).
+        action: one of :data:`ACTIONS`.
+        at: 0-based occurrence indices of the matching fire key at which the
+            action executes.
+        seconds: delay for ``"sleep"`` (and optionally ``"stall"``).
+        position: only fire in the worker with this position (``None``
+            matches any position, including the parent's ``None``).
+        tag: only fire when the call site passes this tag (``None`` matches
+            any tag).  ``journal.append`` tags each call with its record kind.
+    """
+
+    point: str
+    action: str = "error"
+    at: Tuple[int, ...] = (0,)
+    seconds: float = 0.05
+    position: Optional[int] = None
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ServiceError(f"unknown fault action {self.action!r}")
+
+    def matches(self, point: str, position: Optional[int], tag: Optional[str]) -> bool:
+        """Whether this spec applies to a fire at the given key (ignoring counts)."""
+        if self.point != point:
+            return False
+        if self.position is not None and self.position != position:
+            return False
+        if self.tag is not None and self.tag != tag:
+            return False
+        return True
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec` injections.
+
+    Usable as a context manager: ``with FaultPlan([...]):`` installs the
+    plan for the block and clears it afterwards (even on error).
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], name: str = "chaos") -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.name = name
+        #: occurrence counters per exact ``(point, position, tag)`` fire key
+        self._counts: Dict[Tuple[str, Optional[int], Optional[str]], int] = {}
+        #: how many times each ``point:action`` actually executed
+        self.fired: Dict[str, int] = {}
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        entries: Sequence[Tuple[str, str, int, int]],
+        name: str = "chaos",
+        **spec_defaults: object,
+    ) -> "FaultPlan":
+        """Build a reproducible pseudo-random plan from a seed.
+
+        Each entry is ``(point, action, count, span)``: ``count`` distinct
+        occurrence indices are sampled (without replacement) from
+        ``range(span)`` for that point/action.  Extra keyword arguments are
+        forwarded to every generated :class:`FaultSpec`.
+        """
+        rng = random.Random(seed)
+        specs = []
+        for point, action, count, span in entries:
+            indices = tuple(sorted(rng.sample(range(span), min(count, span))))
+            specs.append(FaultSpec(point=point, action=action, at=indices, **spec_defaults))
+        return cls(specs, name=name)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultPlan":
+        install(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        clear()
+
+    # ------------------------------------------------------------------
+    def fire(
+        self, point: str, position: Optional[int] = None, tag: Optional[str] = None
+    ) -> None:
+        """Count one occurrence of the fire key and execute any due specs."""
+        key = (point, position, tag)
+        index = self._counts.get(key, 0)
+        self._counts[key] = index + 1
+        for spec in self.specs:
+            if index in spec.at and spec.matches(point, position, tag):
+                self._execute(spec)
+
+    def _execute(self, spec: FaultSpec) -> None:
+        label = f"{spec.point}:{spec.action}"
+        self.fired[label] = self.fired.get(label, 0) + 1
+        if spec.action == "sleep":
+            time.sleep(spec.seconds)
+        elif spec.action == "stall":
+            # A wedged process: SIGTERM is ignored so polite termination
+            # fails and only the watchdog's SIGKILL (or close()'s kill
+            # escalation) removes it.  Worker-side points only.
+            try:
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+            time.sleep(spec.seconds if spec.seconds > 1.0 else STALL_SECONDS)
+        elif spec.action == "kill":
+            os._exit(KILL_EXIT_CODE)
+        else:  # "error"
+            raise FaultInjected(f"injected fault at {spec.point}")
+
+
+#: The globally installed plan (``None`` when fault injection is inactive).
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install a plan globally; returns it (handy for ``with install(...)``)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def clear() -> None:
+    """Deactivate fault injection."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The currently installed plan, if any."""
+    return _ACTIVE
+
+
+def active_specs() -> Optional[Tuple[FaultSpec, ...]]:
+    """The installed plan's specs -- what a spawning pool ships to workers.
+
+    Only worker-side points travel: parent-side counters must not restart
+    from zero in the child, and a child has no use for parent points.
+    """
+    if _ACTIVE is None:
+        return None
+    specs = tuple(spec for spec in _ACTIVE.specs if spec.point.startswith("worker."))
+    return specs or None
+
+
+def fire(point: str, position: Optional[int] = None, tag: Optional[str] = None) -> None:
+    """Fire a named point against the installed plan (no-op when inactive)."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(point, position=position, tag=tag)

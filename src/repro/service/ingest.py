@@ -18,26 +18,44 @@ byte-identical to the sequential greedy loop, micro-batching changes *when*
 work happens but never *what* is answered: every window's outcomes are
 bit-for-bit the outcomes of ``dispatch_batch`` on the same requests.
 
-Backpressure is explicit and bounded.  With ``queue_capacity`` set, an
-admission that would grow the pending window beyond capacity follows
-``queue_policy``:
+Backpressure is explicit, bounded and *deadline-aware*.  Every admission
+carries an implicit deadline -- ``admit_time + max_waiting / speed``, the
+moment the rider's waiting-time slack runs out (``max_waiting`` is a
+distance; ``speed`` converts it to clock units).  With ``queue_capacity``
+set, an admission that would grow the pending window beyond capacity
+follows ``queue_policy``:
 
-* ``"shed"`` -- the request is refused (``submit`` returns ``False``), the
-  shed is counted, and the queue stays put;
+* ``"shed"`` -- overload evicts by *priority*, not arrival order: the
+  pending admission with the loosest (latest) deadline is dropped to make
+  room, provided its deadline is strictly looser than the incoming
+  request's; otherwise the incoming request itself is refused (``submit``
+  returns ``False``).  Under pressure the queue therefore keeps the
+  tightest-deadline work -- the requests with the least slack to spare --
+  instead of whoever happened to arrive first.  Evictions and refusals are
+  both counted (:attr:`IngestStatistics.evicted` /
+  :attr:`IngestStatistics.shed`);
 * ``"block"`` -- the pending window is flushed inline to free capacity
   before the request is admitted (in this synchronous model, "blocking" the
   producer *is* running the consumer), trading admission latency for
   acceptance.
 
 Either way the pending queue never exceeds ``queue_capacity`` -- the
-property test in ``tests/property/test_ingest_backpressure.py`` drives
-random surge schedules against both policies to pin that invariant.
+property tests in ``tests/property/test_ingest_backpressure.py`` and
+``tests/property/test_deadline_shedding.py`` drive random surge schedules
+against both policies to pin those invariants.
+
+A ``latency_budget`` adds the deadline-driven window close: :meth:`pump`
+force-closes the pending window as soon as the oldest pending deadline is
+within the budget of the clock, so a generous ``batch_window`` cannot
+silently blow a rider's deadline while the window fills.  Answers produced
+after their request's deadline are counted in
+:attr:`IngestStatistics.deadline_misses`.
 
 :class:`IngestStatistics` instruments the path end to end: admissions,
-answers, sheds, window close reasons, queue depth, window fill ratio, and
-per-request admission-to-answer latency (queue wait in clock units plus the
-request's share of in-flush wall time) summarised as nearest-rank
-p50/p95/p99 by :func:`percentiles`.
+answers, sheds/evictions, window close reasons, deadline misses, queue
+depth, window fill ratio, and per-request admission-to-answer latency
+(queue wait in clock units plus the request's share of in-flush wall time)
+summarised as nearest-rank p50/p95/p99 by :func:`percentiles`.
 """
 
 from __future__ import annotations
@@ -50,6 +68,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.dispatcher import DispatchOutcome, Dispatcher, OptionPolicy
 from repro.errors import ConfigurationError
 from repro.model.request import Request
+from repro.service.faults import fire as _fire_fault
 
 __all__ = ["MicroBatcher", "IngestStatistics", "percentiles", "batcher_from_config"]
 
@@ -90,8 +109,8 @@ class IngestStatistics:
     """End-to-end instrumentation of the micro-batched serving path.
 
     Conservation invariant (checked by the unit and property tests):
-    ``admitted == answered + pending + errored + cancelled`` at every
-    quiescent point, and ``shed`` counts refused admissions that never
+    ``admitted == answered + pending + errored + cancelled + evicted`` at
+    every quiescent point, and ``shed`` counts refused admissions that never
     entered the queue.
     """
 
@@ -101,6 +120,9 @@ class IngestStatistics:
     answered: int = 0
     #: admissions refused because the queue was full under the "shed" policy
     shed: int = 0
+    #: admitted requests dropped from a full queue to make room for a
+    #: tighter-deadline admission (deadline-ordered shedding)
+    evicted: int = 0
     #: requests lost to a mid-flush error (the dispatch raised at their turn)
     errored: int = 0
     #: admitted requests removed from the pending window by a cancellation
@@ -114,6 +136,11 @@ class IngestStatistics:
     window_closed: int = 0
     #: windows flushed by an explicit ``flush()`` / drain or a "block" admit
     forced: int = 0
+    #: windows force-closed because the oldest pending admission came
+    #: within ``latency_budget`` of its deadline
+    deadline_closed: int = 0
+    #: answers produced after their request's deadline had already passed
+    deadline_misses: int = 0
     #: highest pending-queue depth ever observed
     peak_queue_depth: int = 0
     #: wall seconds spent inside ``dispatch_batch`` flushes
@@ -126,7 +153,7 @@ class IngestStatistics:
     @property
     def flushes(self) -> int:
         """Windows flushed, whatever closed them."""
-        return self.size_closed + self.window_closed + self.forced
+        return self.size_closed + self.window_closed + self.forced + self.deadline_closed
 
     @property
     def throughput(self) -> float:
@@ -148,6 +175,7 @@ class IngestStatistics:
             "admitted": float(self.admitted),
             "answered": float(self.answered),
             "shed": float(self.shed),
+            "evicted": float(self.evicted),
             "errored": float(self.errored),
             "cancelled": float(self.cancelled),
             "close_drained": float(self.close_drained),
@@ -155,6 +183,8 @@ class IngestStatistics:
             "size_closed": float(self.size_closed),
             "window_closed": float(self.window_closed),
             "forced": float(self.forced),
+            "deadline_closed": float(self.deadline_closed),
+            "deadline_misses": float(self.deadline_misses),
             "peak_queue_depth": float(self.peak_queue_depth),
             "serving_seconds": self.serving_seconds,
             "throughput": self.throughput,
@@ -176,6 +206,12 @@ class MicroBatcher:
             admission time (>= 1).
         queue_capacity: bound on the pending window; ``None`` = unbounded.
         queue_policy: ``"shed"`` or ``"block"`` (see the module docstring).
+        speed: vehicle speed (``SystemConfig.speed``) converting each
+            request's ``max_waiting`` distance slack into clock units for
+            its deadline.
+        latency_budget: force-close the pending window when the oldest
+            admission is within this many clock units of its deadline
+            (``None`` disables the deadline-driven close).
         policy: the stand-in rider choosing from each skyline.
         shards: shard-count override forwarded to ``dispatch_batch``.
         workers: worker-count override forwarded to ``dispatch_batch``.
@@ -196,6 +232,8 @@ class MicroBatcher:
         max_batch_size: int = 512,
         queue_capacity: Optional[int] = None,
         queue_policy: str = "shed",
+        speed: float = 1.0,
+        latency_budget: Optional[float] = None,
         policy: OptionPolicy = OptionPolicy.CHEAPEST,
         shards: Optional[int] = None,
         workers: Optional[int] = None,
@@ -215,11 +253,19 @@ class MicroBatcher:
             raise ConfigurationError(
                 f"queue_policy must be 'shed' or 'block', got {queue_policy!r}"
             )
+        if speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed}")
+        if latency_budget is not None and latency_budget <= 0:
+            raise ConfigurationError(
+                f"latency_budget must be positive or None, got {latency_budget}"
+            )
         self._dispatcher = dispatcher
         self._batch_window = batch_window
         self._max_batch_size = max_batch_size
         self._queue_capacity = queue_capacity
         self._queue_policy = queue_policy
+        self._speed = speed
+        self._latency_budget = latency_budget
         self._policy = policy
         self._shards = shards
         self._workers = workers
@@ -282,15 +328,54 @@ class MicroBatcher:
     def _now(self, now: Optional[float]) -> float:
         return self._clock() if now is None else now
 
+    def deadline(self, request: Request, admit_time: float) -> float:
+        """When an admission's waiting slack runs out, in clock units.
+
+        ``max_waiting`` is a distance (the paper's global ``w``); dividing
+        by the configured speed converts it to the time the rider is
+        willing to wait past admission.  Pure derivation -- deadlines are
+        never stored, so pending entries (and their snapshots) stay plain
+        ``(request, admit_time)`` pairs.
+        """
+        return admit_time + request.max_waiting / self._speed
+
+    def _evict_loosest(self, incoming: Request, moment: float) -> bool:
+        """Deadline-ordered shedding: drop the loosest-deadline admission.
+
+        Scans the pending window for the entry with the latest deadline and
+        evicts it *only* when that deadline is strictly later than the
+        incoming request's (ties keep the incumbents -- they were admitted
+        first and re-ordering equals buys nothing).  Returns ``True`` when a
+        slot was freed for the incoming request.
+        """
+        loosest = self.deadline(incoming, moment)
+        loosest_index = None
+        for index, (pending, admitted) in enumerate(self._pending):
+            candidate = self.deadline(pending, admitted)
+            if candidate > loosest + 1e-12:
+                loosest = candidate
+                loosest_index = index
+        if loosest_index is None:
+            return False
+        del self._pending[loosest_index]
+        self.statistics.evicted += 1
+        if not self._pending:
+            self._window_opened = None
+        return True
+
     # ------------------------------------------------------------------
     def submit(self, request: Request, now: Optional[float] = None) -> bool:
         """Admit ``request`` into the current window.
 
         Returns ``True`` when the request was admitted (it will be answered
         by a later flush), ``False`` when a full queue shed it under the
-        "shed" policy.  Under the "block" policy a full queue flushes the
-        pending window inline first, so admission always succeeds.  A window
-        that reaches ``max_batch_size`` flushes immediately.
+        "shed" policy.  A full queue under "shed" first tries to evict a
+        strictly looser-deadline pending admission (see
+        :meth:`_evict_loosest`); only when the incoming request would be the
+        loosest itself is it refused.  Under the "block" policy a full
+        queue flushes the pending window inline first, so admission always
+        succeeds.  A window that reaches ``max_batch_size`` flushes
+        immediately.
         """
         moment = self._now(now)
         if (
@@ -298,9 +383,11 @@ class MicroBatcher:
             and len(self._pending) >= self._queue_capacity
         ):
             if self._queue_policy == "shed":
-                self.statistics.shed += 1
-                return False
-            self._flush(moment, "forced")  # block: run the consumer inline
+                if not self._evict_loosest(request, moment):
+                    self.statistics.shed += 1
+                    return False
+            else:
+                self._flush(moment, "forced")  # block: run the consumer inline
         if not self._pending:
             self._window_opened = moment
         self._pending.append((request, moment))
@@ -312,16 +399,27 @@ class MicroBatcher:
         return True
 
     def pump(self, now: Optional[float] = None) -> List[DispatchOutcome]:
-        """Flush the window if ``batch_window`` has elapsed since it opened.
+        """Flush the window if ``batch_window`` elapsed -- or a deadline nears.
 
         Drive this from the serving loop (every tick under replay, a timer
-        live).  Returns the outcomes the flush answered (empty when the
-        window is still filling or nothing is pending).
+        live).  With a ``latency_budget``, the window also closes as soon as
+        the oldest pending deadline is within the budget of the clock
+        (counted separately as ``deadline_closed``), so a slow-filling
+        window cannot sit on a nearly-due admission.  Returns the outcomes
+        the flush answered (empty when the window is still filling or
+        nothing is pending).
         """
         moment = self._now(now)
         if self._pending and self._window_opened is not None:
             if moment - self._window_opened >= self._batch_window - 1e-12:
                 return self._flush(moment, "window_closed")
+            if self._latency_budget is not None:
+                oldest = min(
+                    self.deadline(request, admitted)
+                    for request, admitted in self._pending
+                )
+                if moment >= oldest - self._latency_budget - 1e-12:
+                    return self._flush(moment, "deadline_closed")
         return []
 
     def flush(self, now: Optional[float] = None) -> List[DispatchOutcome]:
@@ -330,6 +428,27 @@ class MicroBatcher:
         if not self._pending:
             return []
         return self._flush(moment, "forced")
+
+    def drain(self, now: Optional[float] = None) -> List[DispatchOutcome]:
+        """Exception-safe full drain: flush until nothing is pending.
+
+        A flush that raises consumes exactly one request (errored and
+        counted) and re-queues the untouched remainder, so this loop
+        terminates in at most ``pending`` iterations and never strands an
+        admitted request -- the conservation invariant holds afterwards
+        even when every single flush fails.  Shutdown paths use this so a
+        poisoned window cannot abort the rest of ``close()``.
+        """
+        moment = self._now(now)
+        outcomes: List[DispatchOutcome] = []
+        budget = len(self._pending) + 1
+        while self._pending and budget > 0:
+            budget -= 1
+            try:
+                outcomes.extend(self._flush(moment, "forced"))
+            except Exception:  # counted by _flush's error path; keep draining
+                continue
+        return outcomes
 
     def cancel(self, request_id: str) -> bool:
         """Remove an admitted-but-unflushed request from the pending window.
@@ -360,12 +479,16 @@ class MicroBatcher:
         statistics.window_fills.append(len(window) / self._max_batch_size)
         requests = [request for request, _ in window]
         admit_times = [admitted for _, admitted in window]
+        deadlines = [self.deadline(request, admitted) for request, admitted in window]
         answered_before = statistics.answered
         started = time.perf_counter()
 
         def _answered(outcome: DispatchOutcome) -> None:
-            admit = admit_times[statistics.answered - answered_before]
+            position = statistics.answered - answered_before
+            admit = admit_times[position]
             statistics.answered += 1
+            if moment > deadlines[position] + 1e-12:
+                statistics.deadline_misses += 1
             waited = moment - admit
             if waited < 0.0:
                 waited = 0.0
@@ -374,6 +497,7 @@ class MicroBatcher:
                 self._on_outcome(outcome)
 
         try:
+            _fire_fault("ingest.flush")  # chaos-harness hook (delay / error)
             outcomes = self._dispatcher.dispatch_batch(
                 requests,
                 policy=self._policy,
@@ -387,7 +511,8 @@ class MicroBatcher:
             # it was answered (and counted by the callback), the failing
             # request is lost to the error, and the untouched remainder is
             # re-queued at the front so no admitted request ever vanishes
-            # silently (conservation: admitted == answered+pending+errored).
+            # silently (conservation:
+            # admitted == answered + pending + errored + cancelled + evicted).
             answered = statistics.answered - answered_before
             statistics.errored += 1
             remainder = window[answered + 1 :]
@@ -409,9 +534,10 @@ def batcher_from_config(
     """Build a :class:`MicroBatcher` from a :class:`~repro.core.config.SystemConfig`.
 
     Reads ``batch_window`` / ``max_batch_size`` / ``queue_capacity`` /
-    ``queue_policy`` (plus the dispatch worker knob, which
-    ``dispatch_batch`` already defaults from the same config), so the
-    service layer and the admin form stay the single source of truth.
+    ``queue_policy`` / ``speed`` / ``latency_budget`` (plus the dispatch
+    worker knob, which ``dispatch_batch`` already defaults from the same
+    config), so the service layer and the admin form stay the single source
+    of truth.
     """
     return MicroBatcher(
         dispatcher,
@@ -419,6 +545,8 @@ def batcher_from_config(
         max_batch_size=config.max_batch_size,
         queue_capacity=config.queue_capacity,
         queue_policy=config.queue_policy,
+        speed=config.speed,
+        latency_budget=config.latency_budget,
         clock=clock,
         on_outcome=on_outcome,
     )

@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ServiceError
+from repro.service.faults import fire as _fire_fault
 
 __all__ = [
     "JournalRecord",
@@ -166,6 +167,10 @@ class ServiceJournal:
         """
         if kind not in COMMAND_KINDS and kind not in ANNOTATION_KINDS:
             raise ServiceError(f"unknown journal record kind {kind!r}")
+        # Chaos-harness hook: an injected error here models a failed disk
+        # write *before* the INSERT, so the write-ahead discipline holds --
+        # the record never lands and the command never executes.
+        _fire_fault("journal.append", tag=kind)
         cursor = self.connection.execute(
             "INSERT INTO journal (kind, payload) VALUES (?, ?)",
             (kind, json.dumps(payload, separators=(",", ":"))),

@@ -254,6 +254,9 @@ def serialize_config(config: SystemConfig) -> Dict[str, object]:
         "durability": config.durability,
         "journal_path": config.journal_path,
         "snapshot_interval": config.snapshot_interval,
+        "worker_timeout": config.worker_timeout,
+        "max_dispatch_retries": config.max_dispatch_retries,
+        "latency_budget": config.latency_budget,
     }
 
 
@@ -337,12 +340,15 @@ def _serialize_ingest_statistics(stats) -> Dict[str, object]:
         "admitted": stats.admitted,
         "answered": stats.answered,
         "shed": stats.shed,
+        "evicted": stats.evicted,
         "errored": stats.errored,
         "cancelled": stats.cancelled,
         "close_drained": stats.close_drained,
         "size_closed": stats.size_closed,
         "window_closed": stats.window_closed,
         "forced": stats.forced,
+        "deadline_closed": stats.deadline_closed,
+        "deadline_misses": stats.deadline_misses,
         "peak_queue_depth": stats.peak_queue_depth,
         "serving_seconds": stats.serving_seconds,
         "window_fills": list(stats.window_fills),
@@ -354,12 +360,15 @@ def _restore_ingest_statistics(stats, payload: Dict[str, object]) -> None:
     stats.admitted = int(payload["admitted"])
     stats.answered = int(payload["answered"])
     stats.shed = int(payload["shed"])
+    stats.evicted = int(payload.get("evicted", 0))
     stats.errored = int(payload["errored"])
     stats.cancelled = int(payload.get("cancelled", 0))
     stats.close_drained = int(payload.get("close_drained", 0))
     stats.size_closed = int(payload["size_closed"])
     stats.window_closed = int(payload["window_closed"])
     stats.forced = int(payload["forced"])
+    stats.deadline_closed = int(payload.get("deadline_closed", 0))
+    stats.deadline_misses = int(payload.get("deadline_misses", 0))
     stats.peak_queue_depth = int(payload["peak_queue_depth"])
     stats.serving_seconds = float(payload["serving_seconds"])
     stats.window_fills = [float(v) for v in payload["window_fills"]]

@@ -34,14 +34,19 @@ np = pytest.importorskip("numpy")
 SEED = 31
 
 
-def _build_dispatcher(backend: str) -> Dispatcher:
+def _build_dispatcher(backend: str, **config_overrides) -> Dispatcher:
     network = grid_network(5, 5, weight_jitter=0.3, seed=SEED)
     rng = random.Random(SEED)
     vertices = network.vertices()
     locations = [rng.choice(vertices) for _ in range(6)]
     fleet = build_fleet(network, locations, capacity=4, grid_rows=3, grid_columns=3)
     fleet.set_routing_engine(make_engine(network, backend))
-    config = SystemConfig(max_waiting=6.0, service_constraint=0.6, max_pickup_distance=10.0)
+    config = SystemConfig(
+        max_waiting=6.0,
+        service_constraint=0.6,
+        max_pickup_distance=10.0,
+        **config_overrides,
+    )
     matcher = SingleSideSearchMatcher(fleet, config=config)
     return Dispatcher(fleet, matcher, config)
 
@@ -142,9 +147,11 @@ class TestCrashRecovery:
     def test_worker_crash_falls_back_then_respawns(self):
         """Kill the workers between batches: the next batch degrades to the
         in-process path byte-identically, and the one after that gets a
-        freshly spawned pool."""
+        freshly spawned pool.  Retry is disabled to pin the raw fallback
+        (with retries the batch would recover on a fresh pool instead --
+        covered in ``tests/core/test_watchdog.py``)."""
         twin = _build_dispatcher("csr")
-        dispatcher = _build_dispatcher("csr")
+        dispatcher = _build_dispatcher("csr", max_dispatch_retries=0)
         bursts = [
             _burst(twin, count=4, seed=SEED + i, prefix=f"c{i}-") for i in (1, 2, 3)
         ]

@@ -1,0 +1,280 @@
+"""Failure-containment tests: watchdog, retry, circuit breaker, close escalation.
+
+Each test injects a fault through :mod:`repro.service.faults` (the same
+registry the E19 chaos benchmark drives) and checks the containment
+machinery from ISSUE 9's tentpole:
+
+* a *hung* worker is killed within ``worker_timeout`` and the batch falls
+  back in-process byte-identically;
+* a transient ``begin_batch`` failure is retried once against a freshly
+  spawned pool;
+* ``BREAKER_THRESHOLD`` consecutive batch failures open the circuit
+  breaker (no pool is spawned while open), the cooldown half-opens it, and
+  a clean probe batch re-closes it;
+* ``close()`` escalates join -> terminate -> kill, so even a SIGTERM-ignoring
+  wedged worker cannot outlive the pool.
+
+Byte-identity of the healthy parallel path is property-tested elsewhere
+(``tests/property/test_parallel_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+import repro.core.dispatcher as dispatcher_module
+import repro.core.parallel as parallel
+from repro.core.config import SystemConfig
+from repro.core.dispatcher import Dispatcher, OptionPolicy
+from repro.core.parallel import parallel_available
+from repro.core.single_side import SingleSideSearchMatcher
+from repro.roadnet.generators import grid_network
+from repro.roadnet.routing import make_engine
+from repro.service.faults import FaultPlan, FaultSpec
+from repro.sim.workload import random_requests
+
+from tests.conftest import build_fleet
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(),
+    reason="parallel dispatch needs numpy + shared memory + spawn",
+)
+
+pytest.importorskip("numpy")
+
+SEED = 47
+
+
+def _build_dispatcher(backend: str = "csr", **config_overrides) -> Dispatcher:
+    network = grid_network(5, 5, weight_jitter=0.3, seed=SEED)
+    rng = random.Random(SEED)
+    vertices = network.vertices()
+    locations = [rng.choice(vertices) for _ in range(6)]
+    fleet = build_fleet(network, locations, capacity=4, grid_rows=3, grid_columns=3)
+    fleet.set_routing_engine(make_engine(network, backend))
+    config = SystemConfig(
+        max_waiting=6.0,
+        service_constraint=0.6,
+        max_pickup_distance=10.0,
+        **config_overrides,
+    )
+    matcher = SingleSideSearchMatcher(fleet, config=config)
+    return Dispatcher(fleet, matcher, config)
+
+
+def _burst(dispatcher, count=5, seed=SEED + 1, prefix="w-"):
+    return random_requests(
+        dispatcher.fleet.grid.network, count, 6.0, 0.6, seed=seed, id_prefix=prefix
+    )
+
+
+def _outcome_key(outcome):
+    return (outcome.request.request_id, tuple(outcome.options), outcome.chosen)
+
+
+def _expected(requests):
+    twin = _build_dispatcher()
+    try:
+        return [
+            _outcome_key(o)
+            for o in twin.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
+        ]
+    finally:
+        twin.close()
+
+
+class TestWatchdog:
+    def test_hung_worker_is_killed_and_batch_falls_back_identically(self):
+        """A worker stalled mid-turn (ignoring SIGTERM) trips the watchdog:
+        it is SIGKILLed within ``worker_timeout`` and the whole batch is
+        recomputed in-process with byte-identical outcomes."""
+        dispatcher = _build_dispatcher(worker_timeout=1.0, max_dispatch_retries=0)
+        requests = _burst(dispatcher)
+        expected = _expected(requests)
+        plan = FaultPlan(
+            [FaultSpec(point="worker.turn", action="stall", position=0, at=(0,))],
+            name="hang",
+        )
+        started = time.monotonic()
+        try:
+            with plan:
+                outcomes = dispatcher.dispatch_batch(
+                    requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+                )
+            elapsed = time.monotonic() - started
+            assert [_outcome_key(o) for o in outcomes] == expected
+            # recovery happened in roughly one watchdog period, not the
+            # stall's full hour
+            assert elapsed < 30.0
+            health = dispatcher.health
+            assert health.worker_timeouts == 1
+            assert health.worker_kills >= 1
+            assert health.batch_failures == 1
+            # the batch *began* on 2 workers; the hang condemned the pool,
+            # so the remaining turns ran in-process
+            assert dispatcher.last_batch_statistics.parallel_workers == 2
+            assert dispatcher._pool is not None and dispatcher._pool.broken
+        finally:
+            dispatcher.close()
+
+    def test_transient_begin_failure_retried_on_fresh_pool(self):
+        """One injected ``pool.begin`` failure with ``max_dispatch_retries=1``:
+        the batch recovers on a freshly spawned pool and still runs parallel."""
+        dispatcher = _build_dispatcher(max_dispatch_retries=1)
+        requests = _burst(dispatcher)
+        expected = _expected(requests)
+        plan = FaultPlan(
+            [FaultSpec(point="pool.begin", action="error", at=(0,))], name="transient"
+        )
+        try:
+            with plan:
+                outcomes = dispatcher.dispatch_batch(
+                    requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+                )
+            assert [_outcome_key(o) for o in outcomes] == expected
+            assert dispatcher.last_batch_statistics.parallel_workers == 2
+            health = dispatcher.health
+            assert health.dispatch_retries == 1
+            assert health.batch_failures == 1
+            assert health.pool_respawns == 1
+            # the retry succeeded, so the failure run is reset
+            assert health.consecutive_failures == 0
+            assert health.breaker_state == "closed"
+            assert plan.fired.get("pool.begin:error") == 1
+        finally:
+            dispatcher.close()
+
+    def test_breaker_opens_then_half_open_probe_recloses(self, monkeypatch):
+        """Two consecutive begin failures (patched threshold) open the
+        breaker; while open no pool is spawned; after the cooldown a clean
+        probe batch re-closes it."""
+        monkeypatch.setattr(dispatcher_module, "BREAKER_THRESHOLD", 2)
+        monkeypatch.setattr(dispatcher_module, "BREAKER_COOLDOWN_SECONDS", 3600.0)
+        twin = _build_dispatcher()
+        dispatcher = _build_dispatcher(max_dispatch_retries=0)
+        # fresh requests per round: dispatch commits the chosen options, so
+        # the fleets of twin and dispatcher evolve in lockstep
+        bursts = [
+            _burst(dispatcher, count=4, seed=SEED + i, prefix=f"b{i}-")
+            for i in (1, 2, 3, 4)
+        ]
+        plan = FaultPlan(
+            [FaultSpec(point="pool.begin", action="error", at=(0, 1))], name="sick"
+        )
+
+        def expect(requests):
+            return [
+                _outcome_key(o)
+                for o in twin.dispatch_sequential(requests, policy=OptionPolicy.CHEAPEST)
+            ]
+
+        try:
+            with plan:
+                for round_index in (1, 2):
+                    requests = bursts[round_index - 1]
+                    expected = expect(requests)
+                    outcomes = dispatcher.dispatch_batch(
+                        requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+                    )
+                    assert [_outcome_key(o) for o in outcomes] == expected
+                    assert dispatcher.last_batch_statistics.parallel_workers == 0
+                    assert dispatcher.health.consecutive_failures == round_index
+                health = dispatcher.health
+                assert health.breaker_state == "open"
+                assert health.breaker_opens == 1
+                # while open (cooldown pending) no pool is even spawned
+                expected = expect(bursts[2])
+                outcomes = dispatcher.dispatch_batch(
+                    bursts[2], policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+                )
+                assert [_outcome_key(o) for o in outcomes] == expected
+                assert dispatcher.last_batch_statistics.parallel_workers == 0
+                assert dispatcher._pool is None
+                assert health.breaker_state == "open"
+                assert health.breaker_opens == 1
+            # cooldown elapses (faults cleared): the half-open probe batch
+            # runs cleanly on a fresh pool and re-closes the breaker
+            dispatcher.health.opened_at = time.monotonic() - 7200.0
+            expected = expect(bursts[3])
+            outcomes = dispatcher.dispatch_batch(
+                bursts[3], policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+            )
+            assert [_outcome_key(o) for o in outcomes] == expected
+            assert dispatcher.last_batch_statistics.parallel_workers == 2
+            assert dispatcher.health.breaker_state == "closed"
+            assert dispatcher.health.consecutive_failures == 0
+        finally:
+            twin.close()
+            dispatcher.close()
+
+    def test_half_open_probe_failure_retrips_immediately(self, monkeypatch):
+        """A failure during the half-open probe re-opens the breaker without
+        needing a fresh run of ``BREAKER_THRESHOLD`` failures."""
+        monkeypatch.setattr(dispatcher_module, "BREAKER_THRESHOLD", 1)
+        monkeypatch.setattr(dispatcher_module, "BREAKER_COOLDOWN_SECONDS", 3600.0)
+        dispatcher = _build_dispatcher(max_dispatch_retries=0)
+        requests = _burst(dispatcher)
+        plan = FaultPlan(
+            [FaultSpec(point="pool.begin", action="error", at=(0, 1))], name="sicker"
+        )
+        try:
+            with plan:
+                dispatcher.dispatch_batch(
+                    requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+                )
+                assert dispatcher.health.breaker_state == "open"
+                assert dispatcher.health.breaker_opens == 1
+                dispatcher.health.opened_at = time.monotonic() - 7200.0
+                # half-open probe hits the second injected failure
+                dispatcher.dispatch_batch(
+                    requests, policy=OptionPolicy.CHEAPEST, shards=2, workers=2
+                )
+            assert dispatcher.health.breaker_state == "open"
+            assert dispatcher.health.breaker_opens == 2
+        finally:
+            dispatcher.close()
+
+
+class TestCloseEscalation:
+    def test_close_kills_a_sigterm_ignoring_wedged_worker(self, monkeypatch):
+        """A worker wedged in a stall (which masks SIGTERM) never reads the
+        polite close message and shrugs off ``terminate()``; close() must
+        escalate to SIGKILL and count the kill."""
+        monkeypatch.setattr(parallel, "CLOSE_JOIN_TIMEOUT", 0.3)
+        monkeypatch.setattr(parallel, "CLOSE_ESCALATION_TIMEOUT", 0.3)
+        dispatcher = _build_dispatcher()
+        pool = parallel.ParallelDispatchPool(
+            dispatcher._fleet.routing_engine,
+            dispatcher._fleet.grid,
+            dispatcher._matcher.config,
+            dispatcher._matcher.name,
+            dispatcher._matcher.price_model,
+            workers=2,
+            worker_timeout=None,
+        )
+        plan = FaultPlan(
+            [FaultSpec(point="worker.turn", action="stall", position=1, at=(0,))],
+            name="wedge",
+        )
+        try:
+            with plan:
+                assert pool.ensure_started()
+            # wedge worker 1: the turn command fires the stall before any
+            # batch state is touched, so no begin_batch is needed
+            process, conn = pool._processes[1]
+            conn.send(("turn", 0, []))
+            # let the worker pick the command up and mask SIGTERM, then
+            # probe: a properly wedged worker shrugs the signal off
+            time.sleep(0.5)
+            process.terminate()
+            process.join(timeout=0.5)
+            assert process.is_alive(), "worker died to SIGTERM; stall not engaged"
+            pool.close()
+            assert pool.worker_kills >= 1
+            assert not process.is_alive()
+        finally:
+            pool.close()
+            dispatcher.close()

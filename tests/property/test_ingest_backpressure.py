@@ -12,8 +12,15 @@ Whatever the schedule:
 * under ``"block"`` no admission is ever refused (a full queue drains
   inline first);
 * conservation holds at every step: every admitted request is answered,
-  still pending, or lost to a counted error -- ``admitted == answered +
-  pending + errored`` -- and sheds never enter the queue.
+  still pending, or accounted to a counted exit -- ``admitted == answered +
+  pending + errored + cancelled + evicted`` -- and sheds never enter the
+  queue.
+
+Every request here carries the same ``max_waiting`` under a monotone clock,
+so deadline-ordered eviction never fires (an incoming admission is always
+the loosest) and the classic backpressure behaviour is pinned unchanged;
+the eviction order itself is property-tested in
+``tests/property/test_deadline_shedding.py``.
 """
 
 from __future__ import annotations
@@ -82,7 +89,10 @@ _steps = st.lists(
 
 def _check_conservation(batcher):
     stats = batcher.statistics
-    assert stats.admitted == stats.answered + batcher.pending + stats.errored
+    assert stats.admitted == (
+        stats.answered + batcher.pending + stats.errored
+        + stats.cancelled + stats.evicted
+    )
 
 
 def _drive(batcher, steps, capacity, policy):
