@@ -92,6 +92,19 @@ def build_parser() -> argparse.ArgumentParser:
         "journal+snapshot (0 keeps the config default)",
     )
     demo.add_argument(
+        "--snapshot-mode", choices=SystemConfig._VALID_SNAPSHOT_MODES,
+        default="full",
+        help="snapshot cadence: full rewrites the whole state each time, "
+        "incremental writes cheap dirty-partition deltas and compacts to a "
+        "full snapshot in the background, between serving windows",
+    )
+    demo.add_argument(
+        "--retention-horizon", type=float, default=0.0, metavar="T",
+        help="prune fully-served bookings older than T time units from "
+        "live state and snapshots; the journal keeps the full history "
+        "(0 disables retention)",
+    )
+    demo.add_argument(
         "--resume", action="store_true",
         help="warm-restart from --journal's directory when it already holds "
         "state (PTRiderService.recover restores the newest snapshot and "
@@ -167,6 +180,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--latency-budget", type=float, default=0.0,
         help="force-close the ingest window when the oldest admission is "
         "within this many time units of its deadline (0 disables)",
+    )
+    simulate.add_argument(
+        "--batch-window-mode", choices=SystemConfig._VALID_WINDOW_MODES,
+        default="fixed",
+        help="fixed keeps --batch-window as-is; adaptive lets a closed-loop "
+        "controller resize the window from observed flush walls and arrival "
+        "rates (bounded by --batch-window-min/max)",
+    )
+    simulate.add_argument(
+        "--batch-window-min", type=float, default=0.0,
+        help="adaptive controller's lower window bound "
+        "(0 derives batch_window/16)",
+    )
+    simulate.add_argument(
+        "--batch-window-max", type=float, default=0.0,
+        help="adaptive controller's upper window bound "
+        "(0 derives batch_window*16)",
     )
 
     compare = subparsers.add_parser("compare", help="compare matcher work on one request burst")
@@ -259,6 +289,8 @@ def _run_demo(args: argparse.Namespace) -> int:
             durability=durability,
             journal_path=args.journal_path,
             snapshot_interval=args.snapshot_interval or None,
+            snapshot_mode=args.snapshot_mode,
+            retention_horizon=args.retention_horizon or None,
         )
     try:
         rng = random.Random(args.seed)
@@ -280,6 +312,21 @@ def _run_demo(args: argparse.Namespace) -> int:
         print("Vehicle schedules (kinetic-tree branches):")
         for schedule in system.vehicle_schedules(chosen.vehicle_id):
             print("  " + " -> ".join(f"{kind}:{request}@{vertex}" for vertex, kind, request in schedule))
+        stats = system.routing_statistics()
+        print(
+            f"Serving window: {stats['ingest_window']:.3f} "
+            f"({stats['ingest_window_mode']}; "
+            f"grown {stats['ingest_window_grown']:.0f}, "
+            f"shrunk {stats['ingest_window_shrunk']:.0f})"
+        )
+        if system.journal is not None:
+            print(
+                f"Snapshots: {stats['snapshot_full_count']:.0f} full "
+                f"({stats['snapshot_full_bytes']:.0f} B last), "
+                f"{stats['snapshot_delta_count']:.0f} delta "
+                f"({stats['snapshot_delta_bytes']:.0f} B last), "
+                f"background full-serialise {stats['snapshot_full_seconds']:.3f}s"
+            )
         return 0
     finally:
         if system.journal is not None:
@@ -314,6 +361,9 @@ def _run_simulate(args: argparse.Namespace) -> int:
         worker_timeout=args.worker_timeout,
         max_dispatch_retries=args.max_dispatch_retries,
         latency_budget=args.latency_budget or None,
+        batch_window_mode=args.batch_window_mode,
+        batch_window_min=args.batch_window_min or None,
+        batch_window_max=args.batch_window_max or None,
     )
     matcher = {
         "single_side": SingleSideSearchMatcher,

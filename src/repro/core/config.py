@@ -128,6 +128,35 @@ class SystemConfig:
             budget of its deadline (``admit_time + max_waiting / speed``),
             so a long ``batch_window`` cannot silently blow a rider's
             deadline.  ``None`` disables the deadline-driven close.
+        batch_window_mode: "fixed" keeps ``batch_window`` static;
+            "adaptive" hands the window length to the ingest path's
+            closed-loop controller
+            (:class:`repro.service.ingest.WindowController`), which grows
+            the window when flush walls crowd it (amortising dispatch
+            cost) and shrinks it when dispatch idles (cutting p99),
+            bounded by ``batch_window_min`` / ``batch_window_max`` and the
+            ``latency_budget`` headroom.
+        batch_window_min: adaptive-mode lower bound on the window length
+            (``None`` derives ``batch_window / 16``).
+        batch_window_max: adaptive-mode upper bound on the window length
+            (``None`` derives ``batch_window * 16``).
+        snapshot_mode: how the periodic snapshot cadence persists state
+            under ``durability="journal+snapshot"``: "full" serialises the
+            whole accumulated state at every cadence point (simple, but
+            the stall grows with history); "incremental" writes cheap
+            *delta* files holding only the partitions dirtied since the
+            last snapshot point (bookings touched, vehicles moved, the
+            counters) and demotes the full serialise to a periodic
+            compaction that runs between ingest windows -- never inside a
+            flush.  Recovery folds the delta chain over the last full
+            snapshot (see :mod:`repro.service.recovery`).
+        retention_horizon: optional age, in simulated time units, past
+            which *fully served* bookings (chosen, picked up and dropped
+            off) are pruned from live state -- and therefore from
+            snapshots -- so a long-running service stops growing with
+            history.  The journal stays authoritative; pruned bookings
+            are counted in the ``retired`` conservation counter.  ``None``
+            keeps every booking forever.
     """
 
     vehicle_capacity: int = 4
@@ -153,10 +182,17 @@ class SystemConfig:
     worker_timeout: float = 30.0
     max_dispatch_retries: int = 1
     latency_budget: Optional[float] = None
+    batch_window_mode: str = "fixed"
+    batch_window_min: Optional[float] = None
+    batch_window_max: Optional[float] = None
+    snapshot_mode: str = "full"
+    retention_horizon: Optional[float] = None
 
     _VALID_MATCHERS = ("single_side", "dual_side", "naive")
     _VALID_QUEUE_POLICIES = ("shed", "block")
     _VALID_DURABILITY = ("off", "journal", "journal+snapshot")
+    _VALID_WINDOW_MODES = ("fixed", "adaptive")
+    _VALID_SNAPSHOT_MODES = ("full", "incremental")
 
     def __post_init__(self) -> None:
         if self.vehicle_capacity < 1:
@@ -236,6 +272,37 @@ class SystemConfig:
         if self.latency_budget is not None and self.latency_budget <= 0:
             raise ConfigurationError(
                 f"latency_budget must be positive or None, got {self.latency_budget}"
+            )
+        if self.batch_window_mode not in self._VALID_WINDOW_MODES:
+            raise ConfigurationError(
+                f"batch_window_mode must be one of {self._VALID_WINDOW_MODES}, "
+                f"got {self.batch_window_mode!r}"
+            )
+        if self.batch_window_min is not None and self.batch_window_min <= 0:
+            raise ConfigurationError(
+                f"batch_window_min must be positive or None, got {self.batch_window_min}"
+            )
+        if self.batch_window_max is not None and self.batch_window_max <= 0:
+            raise ConfigurationError(
+                f"batch_window_max must be positive or None, got {self.batch_window_max}"
+            )
+        if (
+            self.batch_window_min is not None
+            and self.batch_window_max is not None
+            and self.batch_window_min > self.batch_window_max
+        ):
+            raise ConfigurationError(
+                f"batch_window_min ({self.batch_window_min}) must not exceed "
+                f"batch_window_max ({self.batch_window_max})"
+            )
+        if self.snapshot_mode not in self._VALID_SNAPSHOT_MODES:
+            raise ConfigurationError(
+                f"snapshot_mode must be one of {self._VALID_SNAPSHOT_MODES}, "
+                f"got {self.snapshot_mode!r}"
+            )
+        if self.retention_horizon is not None and self.retention_horizon <= 0:
+            raise ConfigurationError(
+                f"retention_horizon must be positive or None, got {self.retention_horizon}"
             )
 
     def with_updates(self, **changes: object) -> "SystemConfig":

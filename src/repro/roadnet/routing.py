@@ -81,6 +81,7 @@ every call site.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from abc import ABC, abstractmethod
 from bisect import bisect_right
@@ -154,6 +155,20 @@ PHAST_AUTO_MIN_VERTICES = 4096
 #: arrays of the refold at a few tens of MB on city-sized networks while
 #: keeping enough rows per sweep to amortise the per-level dispatch cost.
 PHAST_SOURCE_CHUNK = 32
+
+#: Opt-in flag for the reduceat-free PHAST refold: when this environment
+#: variable is set to anything but ""/"0", each refold generation folds by
+#: scatter-min (``np.minimum.at`` into the destination cells) instead of the
+#: segmented ``np.minimum.reduceat``.  Both folds gather the same
+#: already-folded labels before writing, so they are bit-identical; the flag
+#: exists to measure the alternative's cost on real planes (see E15's
+#: refold microbench) without forking the provider.
+PHAST_SCATTER_REFOLD_ENV = "PTRIDER_PHAST_SCATTER_REFOLD"
+
+
+def _scatter_refold_enabled() -> bool:
+    return os.environ.get(PHAST_SCATTER_REFOLD_ENV, "") not in ("", "0")
+
 
 #: Default number of ALT landmarks (a handful is enough on city-sized nets).
 DEFAULT_LANDMARKS = 8
@@ -1666,6 +1681,20 @@ class PHASTTreeProvider(TreeProvider):
         # flat index of each in-edge's tail cell, in the tail's own row
         tail_cells = _np.repeat((positions // n) * n, degrees) + neighbours[edge_index]
         flat_exact = exact.reshape(-1)
+        if _scatter_refold_enabled():
+            # The reduceat-free fold: scatter-min every in-edge contribution
+            # straight into its destination cell.  Destinations start at inf
+            # and the gather still happens before the scatter, so a
+            # same-bucket neighbour reads as inf exactly as it does in the
+            # segmented fold -- min is exact in floats, so the two folds are
+            # bit-identical.
+            dest_cells = _np.repeat(positions, degrees)
+            scatter_min = _np.minimum.at
+            for s, t in zip(starts.tolist(), ends.tolist()):
+                e0, e1 = int(edge_ptr[s]), int(edge_ptr[t])
+                contributions = flat_exact[tail_cells[e0:e1]] + edge_weight[e0:e1]
+                scatter_min(flat_exact, dest_cells[e0:e1], contributions)
+            return exact
         reduceat = _np.minimum.reduceat
         for s, t in zip(starts.tolist(), ends.tolist()):
             e0, e1 = int(edge_ptr[s]), int(edge_ptr[t])

@@ -33,7 +33,7 @@ import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.nearest import NearestVehicleMatcher
 from repro.baselines.sharek import SharekStyleMatcher
@@ -62,6 +62,7 @@ from repro.service.recovery import (
     restore_state,
     serialize_config,
     serialize_request,
+    write_delta,
     write_snapshot,
 )
 from repro.sim.engine import SimulationEngine
@@ -70,6 +71,11 @@ from repro.vehicles.fleet import Fleet
 from repro.vehicles.vehicle import Vehicle
 
 __all__ = ["Booking", "PTRiderService", "build_system", "MATCHER_REGISTRY"]
+
+#: Incremental snapshot deltas written before compaction (a full snapshot)
+#: becomes due.  Bounds both the delta-fold work at recovery and the disk
+#: held by the chain; compaction itself waits for a gap between windows.
+DELTA_COMPACT_AFTER = 16
 
 #: Matching algorithms selectable through the admin interface.
 MATCHER_REGISTRY = {
@@ -117,6 +123,10 @@ class PTRiderService:
             A journal directory that already holds state is refused here --
             use :meth:`recover` to restore it.
         seed: seed for the embedded simulation engine's idle wandering.
+        wall_clock: override for the batcher's flush-wall clock (tests and
+            replay benchmarks inject a deterministic counter so adaptive
+            window trajectories -- which feed on flush walls -- replay
+            byte-identically; ``None`` uses ``time.perf_counter``).
     """
 
     def __init__(
@@ -124,10 +134,14 @@ class PTRiderService:
         fleet: Fleet,
         config: Optional[SystemConfig] = None,
         seed: Optional[int] = None,
+        wall_clock: Optional[Callable[[], float]] = None,
         _journal: Optional[ServiceJournal] = None,
         _resume: bool = False,
     ) -> None:
         self._fleet = fleet
+        #: wall-clock override for the batcher (deterministic benchmarks /
+        #: tests inject a fake clock; ``None`` = ``time.perf_counter``)
+        self._wall_clock = wall_clock
         self._config = config or SystemConfig()
         self._matcher = self._build_matcher(self._config.matcher_name)
         self._dispatcher = Dispatcher(fleet, self._matcher, self._config)
@@ -152,6 +166,40 @@ class PTRiderService:
         #: flush outcomes collected during the current command, journaled
         #: as one annotation record when the command finishes
         self._outcome_buffer: List[Dict[str, object]] = []
+        #: booking ids mutated since the last snapshot point, in creation
+        #: order (an insertion-ordered dict used as an ordered set, so an
+        #: incremental delta's fold reproduces the bookings-list order of
+        #: a full serialisation exactly)
+        self._dirty_bookings: Dict[str, None] = {}
+        #: vehicle ids mutated since the last snapshot point
+        self._dirty_vehicles: set = set()
+        #: journal position of the newest *full* snapshot (delta chain base)
+        self._last_full_seq = 0
+        #: journal position of the newest snapshot point (full or delta)
+        self._prev_snapshot_point = 0
+        #: deltas written since the last full snapshot (compaction trigger)
+        self._deltas_since_full = 0
+        #: compaction requested; runs at the next gap between windows
+        self._compaction_due = False
+        #: lengths of the append-only statistics lists at the last snapshot
+        #: point; incremental deltas serialise only the suffixes past these
+        self._stats_marker: Dict[str, int] = {}
+        #: whether the on-disk delta chain ends exactly at this service's
+        #: restored/written state -- a ``prefer_snapshot=False`` recovery
+        #: restores *behind* the chain's end, and suffix-based deltas
+        #: cannot extend the chain coherently from there (their list tails
+        #: would overlap what the chain already carries), so the next
+        #: cadence crossing writes a chain-resetting full snapshot instead
+        self._delta_chain_valid = True
+        #: persistence-cost attribution for the admin panel
+        self._snapshot_stats: Dict[str, float] = {
+            "full_count": 0.0,
+            "delta_count": 0.0,
+            "full_bytes": 0.0,
+            "delta_bytes": 0.0,
+            "full_seconds": 0.0,
+            "delta_seconds": 0.0,
+        }
         self._seed = seed
         self._journal: Optional[ServiceJournal] = _journal
         if self._journal is None and self._config.durability != "off":
@@ -197,6 +245,7 @@ class PTRiderService:
             self._config,
             clock=lambda: self._engine.time,
             on_outcome=self._record_ingest_outcome,
+            wall_clock=self._wall_clock,
         )
 
     # ------------------------------------------------------------------
@@ -267,8 +316,38 @@ class PTRiderService:
         self._applied_seq = self._journal.last_seq()
         if self._config.durability != "journal+snapshot":
             return
-        if self._applied_seq - self._last_snapshot_seq >= self._config.snapshot_interval:
+        cadence_due = (
+            self._applied_seq - self._last_snapshot_seq
+            >= self._config.snapshot_interval
+        )
+        if self._config.snapshot_mode == "incremental":
+            # The cadence writes a cheap delta (dirty partitions only); the
+            # expensive full serialisation is demoted to a compaction that
+            # only runs between windows -- never inside a flush, so it can
+            # never inflate a serving window's latency.
+            if cadence_due:
+                if self._delta_chain_valid:
+                    self._write_delta()
+                else:
+                    self.snapshot()
+            if self._compaction_due and self._batcher.pending == 0:
+                self.snapshot()
+        elif cadence_due:
             self.snapshot()
+
+    def _window_payload(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Stamp the effective ingest window onto a serving-path payload.
+
+        Under ``batch_window_mode="adaptive"`` the window in force when a
+        command executed was picked by wall-clock flush walls -- replay
+        cannot re-derive it.  Journaling it per command lets
+        :func:`~repro.service.recovery.apply_record` pin the recorded
+        window before re-executing, keeping replayed window boundaries
+        (and therefore flush outcomes) byte-identical.
+        """
+        if self._batcher.window_mode == "adaptive":
+            payload["window"] = self._batcher.current_window
+        return payload
 
     def _record_outcome_annotation(self, outcome: DispatchOutcome) -> None:
         """Buffer one window-flush outcome for the command's annotation.
@@ -316,9 +395,111 @@ class PTRiderService:
         if self._journal is None:
             raise ServiceError("durability is off; there is no journal to snapshot")
         seq = self._journal.last_seq()
+        started = time.perf_counter()
         path = write_snapshot(self._journal, self, seq)
+        self._snapshot_stats["full_seconds"] += time.perf_counter() - started
+        self._snapshot_stats["full_count"] += 1.0
+        try:
+            self._snapshot_stats["full_bytes"] = float(path.stat().st_size)
+        except OSError:  # pragma: no cover - fs race
+            pass
         self._last_snapshot_seq = seq
+        # A full snapshot resets the incremental chain: older deltas are
+        # superseded (pruned) and dirty tracking starts over from here.
+        self._last_full_seq = seq
+        self._prev_snapshot_point = seq
+        self._deltas_since_full = 0
+        self._compaction_due = False
+        self._journal.prune_deltas(seq)
+        self._dirty_bookings = {}
+        self._dirty_vehicles = set()
+        self._reset_stats_baseline()
+        self._delta_chain_valid = True
         return path
+
+    def _write_delta(self) -> Path:
+        """Write an incremental snapshot delta at the journal's position.
+
+        The hot-path half of ``snapshot_mode="incremental"``: serialises
+        only the partitions dirtied since the previous snapshot point
+        (touched bookings, touched vehicles, the small meta partition) and
+        chains the file on that point.  After :data:`DELTA_COMPACT_AFTER`
+        deltas a compaction (full :meth:`snapshot`) is requested; it runs
+        at the next gap between windows.
+        """
+        seq = self._journal.last_seq()
+        started = time.perf_counter()
+        path = write_delta(
+            self._journal,
+            self,
+            seq,
+            self._last_full_seq,
+            self._prev_snapshot_point,
+            self._dirty_bookings,
+            self._dirty_vehicles,
+            self._stats_marker,
+        )
+        self._snapshot_stats["delta_seconds"] += time.perf_counter() - started
+        self._snapshot_stats["delta_count"] += 1.0
+        try:
+            self._snapshot_stats["delta_bytes"] = float(path.stat().st_size)
+        except OSError:  # pragma: no cover - fs race
+            pass
+        self._last_snapshot_seq = seq
+        self._prev_snapshot_point = seq
+        self._deltas_since_full += 1
+        self._dirty_bookings = {}
+        self._dirty_vehicles = set()
+        self._reset_stats_baseline()
+        if self._deltas_since_full >= DELTA_COMPACT_AFTER:
+            self._compaction_due = True
+        return path
+
+    def _reset_stats_baseline(self) -> None:
+        """Start a fresh dirty-stats window at a snapshot point.
+
+        Records the lengths of the append-only measurement lists (the next
+        delta carries only what lands past them) and clears the dirty
+        lifecycle-record set.  Called wherever a snapshot point is
+        established: full snapshots, deltas, and the restore side of
+        recovery (replayed tail mutations then dirty exactly what live
+        execution would have).
+        """
+        sim = self._engine.statistics
+        ingest = self._batcher.statistics
+        self._stats_marker = {
+            "response_times": len(sim.response_times),
+            "option_counts": len(sim.option_counts),
+            "waiting_distances": len(sim.waiting_distances),
+            "detour_ratios": len(sim.detour_ratios),
+            "window_fills": len(ingest.window_fills),
+            "latencies": len(ingest.latencies),
+            # pending-window suffix marker: while the batcher's epoch still
+            # matches (appends only since this point), the next delta ships
+            # just the newly admitted entries
+            "pending_epoch": self._batcher.pending_epoch,
+            "pending_len": self._batcher.pending,
+        }
+        sim.dirty_records.clear()
+
+    def _mark_booking_dirty(self, booking_id: str) -> None:
+        """Record a booking mutation for the next incremental delta.
+
+        Insertion order is creation order (re-marking an id keeps its
+        original position), which is what lets a delta fold reproduce the
+        full serialisation's bookings-list order byte-for-byte.  Marking is
+        unconditional -- replay must dirty the same state live execution
+        did, so post-recovery deltas include the replayed tail's mutations.
+        """
+        self._dirty_bookings[booking_id] = None
+
+    def _mark_vehicle_dirty(self, vehicle_id: str) -> None:
+        """Record a vehicle mutation for the next incremental delta."""
+        self._dirty_vehicles.add(vehicle_id)
+
+    def _mark_all_vehicles_dirty(self) -> None:
+        """Every vehicle moved (``advance``: schedules drive, idlers wander)."""
+        self._dirty_vehicles.update(self._fleet.vehicle_ids())
 
     def _peek_booking_counter(self) -> int:
         """The next booking number the counter would hand out (not consumed)."""
@@ -380,6 +561,10 @@ class PTRiderService:
         seq, state = load_snapshot_state(journal, prefer_snapshot=prefer_snapshot)
         restore_state(service, state)
         service._applied_seq = seq
+        # The restored lists are exactly their at-``seq`` lengths: the next
+        # delta's suffixes start here, and the replayed tail appends past
+        # them through the same mutation paths live execution uses.
+        service._reset_stats_baseline()
         return service, seq
 
     @classmethod
@@ -425,7 +610,9 @@ class PTRiderService:
             # would silently apply the very commands the tear lost.  The
             # never-pruned baseline guarantees a fallback always remains.
             journal.truncate_after(readable_end)
-            for snapshot_seq, path in journal.snapshot_files():
+            for snapshot_seq, path in itertools.chain(
+                journal.snapshot_files(), journal.delta_files()
+            ):
                 if snapshot_seq > readable_end:
                     try:
                         path.unlink()
@@ -434,9 +621,20 @@ class PTRiderService:
         service, seq = cls._resume_at_snapshot(journal, prefer_snapshot)
         replay_records(service, [r for r in readable if r.seq > seq])
         service._applied_seq = journal.last_seq()
-        service._last_snapshot_seq = max(
-            (s for s, _ in journal.snapshot_files()), default=0
+        full_seqs = [s for s, _ in journal.snapshot_files()]
+        delta_seqs = [s for s, _ in journal.delta_files()]
+        service._last_full_seq = max(full_seqs, default=0)
+        service._last_snapshot_seq = max(full_seqs + delta_seqs, default=0)
+        service._prev_snapshot_point = service._last_snapshot_seq
+        service._deltas_since_full = sum(
+            1 for s in delta_seqs if s > service._last_full_seq
         )
+        service._compaction_due = service._deltas_since_full >= DELTA_COMPACT_AFTER
+        # When the restore point sits behind the chain's end (a
+        # prefer_snapshot=False restore, or a fold cut short by a torn
+        # delta), suffix-based deltas cannot extend the chain coherently;
+        # the next cadence crossing writes a full snapshot to reset it.
+        service._delta_chain_valid = seq >= service._prev_snapshot_point
         service._recording = True
         return service
 
@@ -484,6 +682,7 @@ class PTRiderService:
             response_seconds=elapsed,
         )
         self._bookings[booking.booking_id] = booking
+        self._mark_booking_dirty(booking.booking_id)
         self._finish_command()
         return booking
 
@@ -526,7 +725,10 @@ class PTRiderService:
         """
         moment = self._engine.time if now is None else now
         self._journal_command(
-            "admit", {"request": serialize_request(request), "now": moment}
+            "admit",
+            self._window_payload(
+                {"request": serialize_request(request), "now": moment}
+            ),
         )
         admitted = self._batcher.submit(request, now=moment)
         self._finish_command()
@@ -544,7 +746,7 @@ class PTRiderService:
         admission time.
         """
         moment = self._engine.time if now is None else now
-        self._journal_command("pump", {"now": moment})
+        self._journal_command("pump", self._window_payload({"now": moment}))
         self._batcher.pump(now=moment)
         answered, self._ingest_answered = self._ingest_answered, []
         self._finish_command()
@@ -553,7 +755,7 @@ class PTRiderService:
     def drain(self, now: Optional[float] = None) -> List[Booking]:
         """Force-flush the pending ingest window (shutdown / reconfigure)."""
         moment = self._engine.time if now is None else now
-        self._journal_command("drain", {"now": moment})
+        self._journal_command("drain", self._window_payload({"now": moment}))
         self._batcher.flush(now=moment)
         answered, self._ingest_answered = self._ingest_answered, []
         self._finish_command()
@@ -575,8 +777,11 @@ class PTRiderService:
             response_seconds=outcome.match_seconds,
         )
         self._bookings[booking.booking_id] = booking
+        self._mark_booking_dirty(booking.booking_id)
         self._ingest_answered.append(booking)
         chosen = outcome.chosen
+        if chosen is not None:
+            self._mark_vehicle_dirty(chosen.vehicle_id)
         self._engine.statistics.record_submission(
             request_id=outcome.request.request_id,
             submit_time=outcome.request.submit_time,
@@ -644,6 +849,7 @@ class PTRiderService:
                 response_seconds=per_booking,
             )
             self._bookings[booking.booking_id] = booking
+            self._mark_booking_dirty(booking.booking_id)
             bookings.append(booking)
         return bookings
 
@@ -671,6 +877,8 @@ class PTRiderService:
         option = booking.options[option_index]
         self._dispatcher.commit(booking.request, option)
         booking.chosen = option
+        self._mark_booking_dirty(booking_id)
+        self._mark_vehicle_dirty(option.vehicle_id)
         self._engine.statistics.record_submission(
             request_id=booking.request.request_id,
             submit_time=booking.request.submit_time,
@@ -722,6 +930,7 @@ class PTRiderService:
             ),
         )
         del self._bookings[booking_id]
+        self._mark_booking_dirty(booking_id)
         self._finish_command()
 
     def booking(self, booking_id: str) -> Booking:
@@ -757,7 +966,9 @@ class PTRiderService:
         try:
             if self._batcher.pending:
                 moment = self._engine.time
-                self._journal_command("drain", {"now": moment, "close": True})
+                self._journal_command(
+                    "drain", self._window_payload({"now": moment, "close": True})
+                )
                 self._close_drain(moment)
                 self._finish_command()
         finally:
@@ -791,14 +1002,53 @@ class PTRiderService:
     # time
     # ------------------------------------------------------------------
     def advance(self, duration: float) -> None:
-        """Advance the world by ``duration`` time units (vehicles move, stops fire)."""
+        """Advance the world by ``duration`` time units (vehicles move, stops fire).
+
+        Under a ``retention_horizon`` this is also where closed bookings
+        age out: a booking whose trip finished (dropoff fired) more than
+        the horizon ago is pruned from live state (counted in
+        ``IngestStatistics.retired``); the journal stays authoritative for
+        the full history.  Retirement keys on simulated time, so replaying
+        the same ``advance`` records retires the same bookings.
+        """
         if duration < 0:
             raise ServiceError(f"duration must be non-negative, got {duration}")
         self._journal_command("advance", {"duration": duration})
         target = self._engine.time + duration
         while self._engine.time < target - 1e-9:
             self._engine.step()
+        self._mark_all_vehicles_dirty()
+        self._retire_bookings()
         self._finish_command()
+
+    def _retire_bookings(self) -> None:
+        """Prune fully-served bookings past the retention horizon.
+
+        Only bookings that are closed (chosen), whose trip completed
+        (``dropoff_time`` recorded) at least ``retention_horizon`` simulated
+        seconds ago, and that are not still queued for hand-back through
+        :meth:`pump`/:meth:`drain` are removed.  Each removal is marked
+        dirty so incremental deltas serialise the deletion.
+        """
+        horizon = self._config.retention_horizon
+        if horizon is None:
+            return
+        cutoff = self._engine.time - horizon
+        records = self._engine.statistics._records
+        held = {booking.booking_id for booking in self._ingest_answered}
+        retired = []
+        for booking_id, booking in self._bookings.items():
+            if booking.chosen is None or booking_id in held:
+                continue
+            record = records.get(booking.request.request_id)
+            if record is None or record.dropoff_time is None:
+                continue
+            if record.dropoff_time <= cutoff:
+                retired.append(booking_id)
+        for booking_id in retired:
+            del self._bookings[booking_id]
+            self._mark_booking_dirty(booking_id)
+        self._batcher.statistics.retired += len(retired)
 
     # ------------------------------------------------------------------
     # website interface
@@ -905,6 +1155,23 @@ class PTRiderService:
         payload["ingest_queue_depth"] = float(self._batcher.pending)
         for key, value in self._batcher.statistics.as_dict().items():
             payload[f"ingest_{key}"] = value
+        # Adaptive-window controller posture: the window currently in
+        # force, and (adaptive mode only) the controller's EWMAs.  The
+        # resize counters ride along in the ingest_ block above.
+        payload["ingest_window_mode"] = self._batcher.window_mode
+        payload["ingest_window"] = float(self._batcher.current_window)
+        controller = self._batcher.controller_state()
+        if controller is not None:
+            payload["ingest_ewma_flush_wall"] = float(controller["ewma_flush_wall"])
+            payload["ingest_ewma_arrival_rate"] = float(
+                controller["ewma_arrival_rate"]
+            )
+        # Persistence-cost attribution: counts, last-file bytes and
+        # cumulative wall seconds for full snapshots vs incremental deltas
+        # (``snapshot_full_seconds`` is the background compaction bill
+        # under snapshot_mode="incremental").
+        for key, value in self._snapshot_stats.items():
+            payload[f"snapshot_{key}"] = value
         # Failure-containment health: watchdog kills/timeouts, pool
         # respawns, batch failures, retries and the circuit breaker's
         # state ("closed" / "open" / "half_open") and open count.
@@ -931,6 +1198,11 @@ class PTRiderService:
         worker_timeout: Optional[float] = None,
         max_dispatch_retries: Optional[int] = None,
         latency_budget: Optional[float] = None,
+        batch_window_mode: Optional[str] = None,
+        batch_window_min: Optional[float] = None,
+        batch_window_max: Optional[float] = None,
+        snapshot_mode: Optional[str] = None,
+        retention_horizon: Optional[float] = None,
     ) -> SystemConfig:
         """The admin form: update global parameters and/or swap the matcher.
 
@@ -961,6 +1233,15 @@ class PTRiderService:
         deadline, retry attempts against a fresh pool);
         ``latency_budget`` sets the deadline-driven window close of the
         ingest path (``0`` disables it, mapping to ``None``).
+
+        ``batch_window_mode`` switches the ingest window between a fixed
+        length and the closed-loop adaptive controller;
+        ``batch_window_min`` / ``batch_window_max`` bound the controller
+        (``0`` restores the derived default).  ``snapshot_mode`` switches
+        the durability cadence between full snapshots and incremental
+        deltas with background compaction.  ``retention_horizon`` prunes
+        fully-served bookings older than the horizon from live state
+        (``0`` disables retention, mapping to ``None``).
         """
         provided = {
             name: value
@@ -982,6 +1263,11 @@ class PTRiderService:
                 ("worker_timeout", worker_timeout),
                 ("max_dispatch_retries", max_dispatch_retries),
                 ("latency_budget", latency_budget),
+                ("batch_window_mode", batch_window_mode),
+                ("batch_window_min", batch_window_min),
+                ("batch_window_max", batch_window_max),
+                ("snapshot_mode", snapshot_mode),
+                ("retention_horizon", retention_horizon),
             )
             if value is not None
         }
@@ -1015,6 +1301,22 @@ class PTRiderService:
             changes["max_dispatch_retries"] = max_dispatch_retries
         if latency_budget is not None:
             changes["latency_budget"] = None if latency_budget == 0 else latency_budget
+        if batch_window_mode is not None:
+            changes["batch_window_mode"] = batch_window_mode
+        if batch_window_min is not None:
+            changes["batch_window_min"] = (
+                None if batch_window_min == 0 else batch_window_min
+            )
+        if batch_window_max is not None:
+            changes["batch_window_max"] = (
+                None if batch_window_max == 0 else batch_window_max
+            )
+        if snapshot_mode is not None:
+            changes["snapshot_mode"] = snapshot_mode
+        if retention_horizon is not None:
+            changes["retention_horizon"] = (
+                None if retention_horizon == 0 else retention_horizon
+            )
         if matcher_name is not None:
             if matcher_name not in MATCHER_REGISTRY:
                 raise ConfigurationError(
@@ -1121,9 +1423,14 @@ def build_system(
     worker_timeout: Optional[float] = None,
     max_dispatch_retries: Optional[int] = None,
     latency_budget: Optional[float] = None,
+    batch_window_mode: Optional[str] = None,
+    batch_window_min: Optional[float] = None,
+    batch_window_max: Optional[float] = None,
     durability: Optional[str] = None,
     journal_path: Optional[str] = None,
     snapshot_interval: Optional[int] = None,
+    snapshot_mode: Optional[str] = None,
+    retention_horizon: Optional[float] = None,
 ) -> PTRiderService:
     """Build a ready-to-use PTRider system.
 
@@ -1162,6 +1469,14 @@ def build_system(
         latency_budget: deadline-driven window close for the ingest path
             (``0`` disables it); defaults to the config's
             ``latency_budget``.
+        batch_window_mode: ingest window mode override ("fixed" or
+            "adaptive"); defaults to the config's ``batch_window_mode``.
+        batch_window_min: adaptive controller's lower window bound
+            (``0`` restores the derived default); defaults to the config's
+            ``batch_window_min``.
+        batch_window_max: adaptive controller's upper window bound
+            (``0`` restores the derived default); defaults to the config's
+            ``batch_window_max``.
         durability: durability mode override ("off", "journal" or
             "journal+snapshot"); defaults to the config's ``durability``.
         journal_path: journal directory override (required when durability
@@ -1169,6 +1484,11 @@ def build_system(
         snapshot_interval: journal records between automatic snapshots
             under "journal+snapshot"; defaults to the config's
             ``snapshot_interval``.
+        snapshot_mode: snapshot cadence mode override ("full" or
+            "incremental"); defaults to the config's ``snapshot_mode``.
+        retention_horizon: age past which fully-served bookings are pruned
+            from live state (``0`` disables retention); defaults to the
+            config's ``retention_horizon``.
 
     Returns:
         A :class:`PTRiderService` whose fleet is registered and idle.
@@ -1208,6 +1528,22 @@ def build_system(
         budget = None if latency_budget == 0 else latency_budget
         if budget != system_config.latency_budget:
             system_config = system_config.with_updates(latency_budget=budget)
+    if batch_window_mode is not None and batch_window_mode != system_config.batch_window_mode:
+        system_config = system_config.with_updates(batch_window_mode=batch_window_mode)
+    if batch_window_min is not None:
+        bound = None if batch_window_min == 0 else batch_window_min
+        if bound != system_config.batch_window_min:
+            system_config = system_config.with_updates(batch_window_min=bound)
+    if batch_window_max is not None:
+        bound = None if batch_window_max == 0 else batch_window_max
+        if bound != system_config.batch_window_max:
+            system_config = system_config.with_updates(batch_window_max=bound)
+    if snapshot_mode is not None and snapshot_mode != system_config.snapshot_mode:
+        system_config = system_config.with_updates(snapshot_mode=snapshot_mode)
+    if retention_horizon is not None:
+        horizon = None if retention_horizon == 0 else retention_horizon
+        if horizon != system_config.retention_horizon:
+            system_config = system_config.with_updates(retention_horizon=horizon)
     durability_changes: Dict[str, object] = {}
     if journal_path is not None and journal_path != system_config.journal_path:
         durability_changes["journal_path"] = journal_path

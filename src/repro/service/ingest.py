@@ -51,6 +51,24 @@ silently blow a rider's deadline while the window fills.  Answers produced
 after their request's deadline are counted in
 :attr:`IngestStatistics.deadline_misses`.
 
+With ``window_mode="adaptive"`` the window length itself becomes a
+*closed-loop* control variable instead of a static knob.
+:class:`WindowController` tracks an EWMA of the observed flush wall (how
+long ``dispatch_batch`` took) and of the arrival rate per window, and
+multiplicatively grows or shrinks the next window on the flush-wall /
+window-length ratio: a flush wall that eats more than half the window
+means the dispatch pipeline barely keeps up, so the window grows (bigger
+batches amortise the per-flush cost); a flush wall under a quarter of the
+window means dispatch is idling while admitted requests queue, so the
+window shrinks (cutting admission-to-answer latency).  The window stays
+inside ``[window_min, window_max]`` and -- when a ``latency_budget`` is
+set -- never exceeds the budget headroom left after the expected flush
+wall, so the controller cannot tune itself past the deadline close.  The
+controller reads time exclusively through the injectable ``wall_clock``,
+so property tests drive it deterministically and journal replay pins the
+recorded window trajectory exactly (see
+:func:`repro.service.recovery.apply_record`).
+
 :class:`IngestStatistics` instruments the path end to end: admissions,
 answers, sheds/evictions, window close reasons, deadline misses, queue
 depth, window fill ratio, and per-request admission-to-answer latency
@@ -70,10 +88,19 @@ from repro.errors import ConfigurationError
 from repro.model.request import Request
 from repro.service.faults import fire as _fire_fault
 
-__all__ = ["MicroBatcher", "IngestStatistics", "percentiles", "batcher_from_config"]
+__all__ = [
+    "MicroBatcher",
+    "IngestStatistics",
+    "WindowController",
+    "percentiles",
+    "batcher_from_config",
+]
 
 #: Ranks reported by :meth:`IngestStatistics.as_dict`.
 DEFAULT_RANKS = (50, 95, 99)
+
+#: Window-length modes of the micro-batcher.
+WINDOW_MODES = ("fixed", "adaptive")
 
 
 def percentiles(
@@ -102,6 +129,165 @@ def percentiles(
         position = max(1, math.ceil(rank / 100.0 * count))
         result[f"p{rank}"] = ordered[position - 1]
     return result
+
+
+class WindowController:
+    """Closed-loop auto-tuner of the micro-batch window length.
+
+    The control law is multiplicative-increase / multiplicative-decrease
+    (MIMD) on the ratio of the EWMA'd flush wall to the current window
+    length:
+
+    * ``ratio > HIGH_RATIO`` (flushes eat most of the window): the dispatch
+      pipeline barely keeps up with the window cadence -- grow the window
+      by :data:`GROW` so bigger batches amortise the per-flush cost;
+    * ``ratio < LOW_RATIO`` (flushes are cheap relative to the window):
+      dispatch idles while admissions queue -- shrink the window by
+      :data:`SHRINK` to cut admission-to-answer latency;
+    * in between: hold.  The dead band is wider (2x) than the step factor
+      (1.5x), so under a stationary flush wall the window converges into
+      the band and stays there instead of oscillating across it.
+
+    The window is clamped to ``[window_min, window_max]``; with a
+    ``latency_budget`` the upper bound additionally shrinks to the budget
+    headroom left after the expected flush wall
+    (``latency_budget - ewma_flush_wall``, floored at ``window_min``), so
+    the controller never schedules a close the deadline-driven close would
+    have to pre-empt.  The arrival-rate EWMA is tracked per window for the
+    operator panel (requests/clock-unit the path is absorbing).
+
+    The controller itself never reads a clock -- callers feed it observed
+    flush walls -- so driving it with synthetic observations (the property
+    suite) or replay-pinned windows (journal recovery) is exact.
+    """
+
+    #: multiplicative step applied when the window grows / shrinks
+    GROW = 1.5
+    SHRINK = 1.5
+    #: flush-wall / window ratio above which the window grows
+    HIGH_RATIO = 0.5
+    #: flush-wall / window ratio below which the window shrinks
+    LOW_RATIO = 0.25
+    #: EWMA smoothing factor for both tracked signals
+    ALPHA = 0.3
+
+    def __init__(
+        self,
+        window: float,
+        window_min: float,
+        window_max: float,
+        latency_budget: Optional[float] = None,
+    ) -> None:
+        if window_min <= 0:
+            raise ConfigurationError(
+                f"window_min must be positive, got {window_min}"
+            )
+        if window_max < window_min:
+            raise ConfigurationError(
+                f"window_max must be >= window_min, got "
+                f"[{window_min}, {window_max}]"
+            )
+        if latency_budget is not None and window_min > latency_budget:
+            raise ConfigurationError(
+                f"window_min ({window_min}) must not exceed latency_budget "
+                f"({latency_budget}): the smallest window must fit the budget"
+            )
+        self._window_min = window_min
+        self._window_max = window_max
+        self._latency_budget = latency_budget
+        self.ewma_flush_wall = 0.0
+        self.ewma_arrival_rate = 0.0
+        self._wall_observed = False
+        self._rate_observed = False
+        self._window = self._clamp(window)
+
+    @property
+    def window(self) -> float:
+        """The current window length (always inside the bounds)."""
+        return self._window
+
+    @property
+    def window_min(self) -> float:
+        return self._window_min
+
+    @property
+    def window_max(self) -> float:
+        return self._window_max
+
+    def _upper_bound(self) -> float:
+        upper = self._window_max
+        if self._latency_budget is not None:
+            headroom = self._latency_budget - self.ewma_flush_wall
+            upper = min(upper, max(self._window_min, headroom))
+        return upper
+
+    def _clamp(self, window: float) -> float:
+        return min(max(window, self._window_min), self._upper_bound())
+
+    def set_window(self, window: float) -> None:
+        """Pin the window (journal replay / snapshot restore), clamped."""
+        self._window = self._clamp(window)
+
+    def observe(
+        self, flush_wall: float, batch_size: int, window_span: float
+    ) -> int:
+        """Feed one flush observation; returns -1/0/+1 (shrunk/held/grown).
+
+        ``flush_wall`` is the wall time the flush's ``dispatch_batch``
+        took, ``batch_size`` how many requests it answered and
+        ``window_span`` how long the window accumulated in clock units
+        (0 for a size-close at admission time).
+        """
+        if self._wall_observed:
+            self.ewma_flush_wall = (
+                self.ALPHA * flush_wall
+                + (1.0 - self.ALPHA) * self.ewma_flush_wall
+            )
+        else:
+            self.ewma_flush_wall = flush_wall
+            self._wall_observed = True
+        if window_span > 1e-12:
+            rate = batch_size / window_span
+            if self._rate_observed:
+                self.ewma_arrival_rate = (
+                    self.ALPHA * rate
+                    + (1.0 - self.ALPHA) * self.ewma_arrival_rate
+                )
+            else:
+                self.ewma_arrival_rate = rate
+                self._rate_observed = True
+        previous = self._window
+        ratio = self.ewma_flush_wall / self._window
+        if ratio > self.HIGH_RATIO:
+            target = self._window * self.GROW
+        elif ratio < self.LOW_RATIO:
+            target = self._window / self.SHRINK
+        else:
+            target = self._window
+        self._window = self._clamp(target)
+        if self._window > previous + 1e-15:
+            return 1
+        if self._window < previous - 1e-15:
+            return -1
+        return 0
+
+    def state(self) -> Dict[str, object]:
+        """JSON-able controller state (snapshot payload)."""
+        return {
+            "window": self._window,
+            "ewma_flush_wall": self.ewma_flush_wall,
+            "ewma_arrival_rate": self.ewma_arrival_rate,
+            "wall_observed": self._wall_observed,
+            "rate_observed": self._rate_observed,
+        }
+
+    def restore(self, payload: Dict[str, object]) -> None:
+        """Overwrite the controller state from :meth:`state` (restore)."""
+        self.ewma_flush_wall = float(payload.get("ewma_flush_wall", 0.0))
+        self.ewma_arrival_rate = float(payload.get("ewma_arrival_rate", 0.0))
+        self._wall_observed = bool(payload.get("wall_observed", False))
+        self._rate_observed = bool(payload.get("rate_observed", False))
+        self._window = self._clamp(float(payload.get("window", self._window)))
 
 
 @dataclass
@@ -141,6 +327,15 @@ class IngestStatistics:
     deadline_closed: int = 0
     #: answers produced after their request's deadline had already passed
     deadline_misses: int = 0
+    #: adaptive-mode window resizes: how often the controller grew the
+    #: window (flush wall crowding the window) / shrank it (dispatch idling)
+    window_grown: int = 0
+    window_shrunk: int = 0
+    #: fully-served bookings pruned from live service state by the
+    #: ``retention_horizon`` knob (the journal stays authoritative); the
+    #: booking conservation check reads
+    #: ``bookings_created == live + retired + cancelled_open``
+    retired: int = 0
     #: highest pending-queue depth ever observed
     peak_queue_depth: int = 0
     #: wall seconds spent inside ``dispatch_batch`` flushes
@@ -185,6 +380,9 @@ class IngestStatistics:
             "forced": float(self.forced),
             "deadline_closed": float(self.deadline_closed),
             "deadline_misses": float(self.deadline_misses),
+            "window_grown": float(self.window_grown),
+            "window_shrunk": float(self.window_shrunk),
+            "retired": float(self.retired),
             "peak_queue_depth": float(self.peak_queue_depth),
             "serving_seconds": self.serving_seconds,
             "throughput": self.throughput,
@@ -212,6 +410,14 @@ class MicroBatcher:
         latency_budget: force-close the pending window when the oldest
             admission is within this many clock units of its deadline
             (``None`` disables the deadline-driven close).
+        window_mode: ``"fixed"`` keeps ``batch_window`` static;
+            ``"adaptive"`` hands the window length to a
+            :class:`WindowController` seeded at ``batch_window`` and
+            bounded by ``window_min`` / ``window_max``.
+        window_min: adaptive-mode lower bound on the window length
+            (defaults to ``batch_window / 16``).
+        window_max: adaptive-mode upper bound on the window length
+            (defaults to ``batch_window * 16``).
         policy: the stand-in rider choosing from each skyline.
         shards: shard-count override forwarded to ``dispatch_batch``.
         workers: worker-count override forwarded to ``dispatch_batch``.
@@ -221,6 +427,11 @@ class MicroBatcher:
             Defaults to ``time.monotonic`` (wall time); replay passes
             simulated time via the ``now`` argument of the public methods
             instead, which always overrides the clock.
+        wall_clock: zero-argument callable measuring flush wall time
+            (serving_seconds, per-request latency shares, and the adaptive
+            controller's flush-wall observations).  Defaults to
+            ``time.perf_counter``; the property suite injects a
+            deterministic counter so adaptive trajectories are exact.
         on_outcome: optional callback invoked with every answered outcome
             as its commit lands (the service layer records bookings here).
     """
@@ -234,11 +445,15 @@ class MicroBatcher:
         queue_policy: str = "shed",
         speed: float = 1.0,
         latency_budget: Optional[float] = None,
+        window_mode: str = "fixed",
+        window_min: Optional[float] = None,
+        window_max: Optional[float] = None,
         policy: OptionPolicy = OptionPolicy.CHEAPEST,
         shards: Optional[int] = None,
         workers: Optional[int] = None,
         prefetch_legs: bool = True,
         clock: Optional[Callable[[], float]] = None,
+        wall_clock: Optional[Callable[[], float]] = None,
         on_outcome: Optional[Callable[[DispatchOutcome], None]] = None,
     ) -> None:
         if batch_window <= 0:
@@ -259,6 +474,10 @@ class MicroBatcher:
             raise ConfigurationError(
                 f"latency_budget must be positive or None, got {latency_budget}"
             )
+        if window_mode not in WINDOW_MODES:
+            raise ConfigurationError(
+                f"window_mode must be one of {WINDOW_MODES}, got {window_mode!r}"
+            )
         self._dispatcher = dispatcher
         self._batch_window = batch_window
         self._max_batch_size = max_batch_size
@@ -271,9 +490,30 @@ class MicroBatcher:
         self._workers = workers
         self._prefetch_legs = prefetch_legs
         self._clock = clock or time.monotonic
+        self._wall_clock = wall_clock or time.perf_counter
         self._on_outcome = on_outcome
+        self._window_mode = window_mode
+        self._controller: Optional[WindowController] = None
+        if window_mode == "adaptive":
+            self._controller = WindowController(
+                window=batch_window,
+                window_min=(
+                    batch_window / 16.0 if window_min is None else window_min
+                ),
+                window_max=(
+                    batch_window * 16.0 if window_max is None else window_max
+                ),
+                latency_budget=latency_budget,
+            )
         self._pending: List[Tuple[Request, float]] = []
         self._window_opened: Optional[float] = None
+        #: bumped on every mutation of ``_pending`` that is NOT a plain
+        #: append (flush, eviction, cancel, error re-queue, restore).  While
+        #: the epoch holds, any earlier observation of the queue is a stable
+        #: prefix of the current one -- incremental snapshot deltas use this
+        #: to ship only the requests admitted since the last snapshot point
+        #: instead of the whole window.
+        self._pending_epoch = 0
         self.statistics = IngestStatistics()
 
     # ------------------------------------------------------------------
@@ -286,6 +526,15 @@ class MicroBatcher:
     def window_opened(self) -> Optional[float]:
         """When the current window opened (``None`` while empty)."""
         return self._window_opened
+
+    @property
+    def pending_epoch(self) -> int:
+        """Monotonic count of non-append pending-queue mutations.
+
+        Two readings with the same epoch guarantee the earlier queue is a
+        stable prefix of the later one (only appends happened in between).
+        """
+        return self._pending_epoch
 
     def pending_entries(self) -> List[Tuple[Request, float]]:
         """The pending window as ``(request, admit_time)`` pairs, in order.
@@ -308,10 +557,50 @@ class MicroBatcher:
         """
         self._pending = list(entries)
         self._window_opened = window_opened if self._pending else None
+        self._pending_epoch += 1
 
     @property
     def batch_window(self) -> float:
         return self._batch_window
+
+    @property
+    def window_mode(self) -> str:
+        """``"fixed"`` or ``"adaptive"``."""
+        return self._window_mode
+
+    @property
+    def controller(self) -> Optional[WindowController]:
+        """The adaptive window controller (``None`` in fixed mode)."""
+        return self._controller
+
+    @property
+    def current_window(self) -> float:
+        """The window length the next pump closes against.
+
+        In fixed mode this is ``batch_window``; in adaptive mode it is the
+        controller's current (bounded) window.
+        """
+        if self._controller is not None:
+            return self._controller.window
+        return self._batch_window
+
+    def set_window(self, window: float) -> None:
+        """Pin the adaptive window (journal replay drives this so replayed
+        window-close decisions match the recorded run exactly; a no-op in
+        fixed mode)."""
+        if self._controller is not None:
+            self._controller.set_window(window)
+
+    def controller_state(self) -> Optional[Dict[str, object]]:
+        """The adaptive controller's snapshot payload (``None`` if fixed)."""
+        if self._controller is None:
+            return None
+        return self._controller.state()
+
+    def restore_controller(self, payload: Optional[Dict[str, object]]) -> None:
+        """Restore the controller from :meth:`controller_state` output."""
+        if self._controller is not None and payload:
+            self._controller.restore(payload)
 
     @property
     def max_batch_size(self) -> int:
@@ -358,6 +647,7 @@ class MicroBatcher:
         if loosest_index is None:
             return False
         del self._pending[loosest_index]
+        self._pending_epoch += 1
         self.statistics.evicted += 1
         if not self._pending:
             self._window_opened = None
@@ -411,7 +701,7 @@ class MicroBatcher:
         """
         moment = self._now(now)
         if self._pending and self._window_opened is not None:
-            if moment - self._window_opened >= self._batch_window - 1e-12:
+            if moment - self._window_opened >= self.current_window - 1e-12:
                 return self._flush(moment, "window_closed")
             if self._latency_budget is not None:
                 oldest = min(
@@ -461,6 +751,7 @@ class MicroBatcher:
         for index, (request, _admitted) in enumerate(self._pending):
             if request.request_id == request_id:
                 del self._pending[index]
+                self._pending_epoch += 1
                 self.statistics.cancelled += 1
                 if not self._pending:
                     self._window_opened = None
@@ -470,10 +761,12 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def _flush(self, moment: float, reason: str) -> List[DispatchOutcome]:
         window = self._pending
+        opened = self._window_opened
         self._pending = []
         self._window_opened = None
         if not window:
             return []
+        self._pending_epoch += 1  # covers the error-path re-queue too
         statistics = self.statistics
         setattr(statistics, reason, getattr(statistics, reason) + 1)
         statistics.window_fills.append(len(window) / self._max_batch_size)
@@ -481,7 +774,7 @@ class MicroBatcher:
         admit_times = [admitted for _, admitted in window]
         deadlines = [self.deadline(request, admitted) for request, admitted in window]
         answered_before = statistics.answered
-        started = time.perf_counter()
+        started = self._wall_clock()
 
         def _answered(outcome: DispatchOutcome) -> None:
             position = statistics.answered - answered_before
@@ -492,7 +785,7 @@ class MicroBatcher:
             waited = moment - admit
             if waited < 0.0:
                 waited = 0.0
-            statistics.latencies.append(waited + (time.perf_counter() - started))
+            statistics.latencies.append(waited + (self._wall_clock() - started))
             if self._on_outcome is not None:
                 self._on_outcome(outcome)
 
@@ -519,9 +812,17 @@ class MicroBatcher:
             if remainder:
                 self._pending = remainder + self._pending
                 self._window_opened = remainder[0][1]
-            statistics.serving_seconds += time.perf_counter() - started
+            statistics.serving_seconds += self._wall_clock() - started
             raise
-        statistics.serving_seconds += time.perf_counter() - started
+        flush_wall = self._wall_clock() - started
+        statistics.serving_seconds += flush_wall
+        if self._controller is not None:
+            span = 0.0 if opened is None else max(0.0, moment - opened)
+            resized = self._controller.observe(flush_wall, len(window), span)
+            if resized > 0:
+                statistics.window_grown += 1
+            elif resized < 0:
+                statistics.window_shrunk += 1
         return outcomes
 
 
@@ -530,14 +831,16 @@ def batcher_from_config(
     config,
     clock: Optional[Callable[[], float]] = None,
     on_outcome: Optional[Callable[[DispatchOutcome], None]] = None,
+    wall_clock: Optional[Callable[[], float]] = None,
 ) -> MicroBatcher:
     """Build a :class:`MicroBatcher` from a :class:`~repro.core.config.SystemConfig`.
 
     Reads ``batch_window`` / ``max_batch_size`` / ``queue_capacity`` /
-    ``queue_policy`` / ``speed`` / ``latency_budget`` (plus the dispatch
-    worker knob, which ``dispatch_batch`` already defaults from the same
-    config), so the service layer and the admin form stay the single source
-    of truth.
+    ``queue_policy`` / ``speed`` / ``latency_budget`` /
+    ``batch_window_mode`` / ``batch_window_min`` / ``batch_window_max``
+    (plus the dispatch worker knob, which ``dispatch_batch`` already
+    defaults from the same config), so the service layer and the admin
+    form stay the single source of truth.
     """
     return MicroBatcher(
         dispatcher,
@@ -547,6 +850,10 @@ def batcher_from_config(
         queue_policy=config.queue_policy,
         speed=config.speed,
         latency_budget=config.latency_budget,
+        window_mode=config.batch_window_mode,
+        window_min=config.batch_window_min,
+        window_max=config.batch_window_max,
         clock=clock,
         on_outcome=on_outcome,
+        wall_clock=wall_clock,
     )

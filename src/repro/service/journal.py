@@ -277,6 +277,51 @@ class ServiceJournal:
         """Where the snapshot taken at journal position ``seq`` lives."""
         return self.directory / f"snapshot-{seq:012d}.json"
 
+    def delta_path(self, seq: int) -> Path:
+        """Where the incremental snapshot delta at position ``seq`` lives.
+
+        Deltas hold only the state partitions dirtied since the previous
+        snapshot point; recovery folds an unbroken chain of them over the
+        full snapshot they name as their base (see
+        :mod:`repro.service.recovery`).
+        """
+        return self.directory / f"delta-{seq:012d}.json"
+
+    def delta_files(self) -> List[Tuple[int, Path]]:
+        """Complete delta files present, oldest first, as ``(seq, path)``.
+
+        Like :meth:`snapshot_files`, in-flight ``*.tmp`` files (a crash
+        mid-delta) are invisible: only a finished atomic rename counts.
+        """
+        found: List[Tuple[int, Path]] = []
+        for path in sorted(self.directory.glob("delta-*.json")):
+            stem = path.stem.split("-", 1)
+            try:
+                found.append((int(stem[1]), path))
+            except (IndexError, ValueError):
+                continue
+        found.sort(key=lambda item: item[0])
+        return found
+
+    def prune_deltas(self, upto_seq: int) -> int:
+        """Delete delta files with ``seq <= upto_seq``; returns how many.
+
+        Called when a full snapshot (compaction) lands at ``upto_seq``:
+        the chain those deltas belonged to is superseded -- a fallback
+        from a later corrupt snapshot recovers through journal replay, for
+        which the journal itself stays authoritative.
+        """
+        pruned = 0
+        for seq, path in self.delta_files():
+            if seq > upto_seq:
+                continue
+            try:
+                path.unlink()
+                pruned += 1
+            except OSError:  # pragma: no cover - fs race
+                continue
+        return pruned
+
     def snapshot_files(self) -> List[Tuple[int, Path]]:
         """Complete snapshot files present, oldest first, as ``(seq, path)``.
 

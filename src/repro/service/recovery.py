@@ -59,6 +59,8 @@ __all__ = [
     "restore_state",
     "canonical_state",
     "write_snapshot",
+    "write_delta",
+    "fold_delta",
     "load_snapshot_state",
     "replay_records",
     "serialize_config",
@@ -257,6 +259,11 @@ def serialize_config(config: SystemConfig) -> Dict[str, object]:
         "worker_timeout": config.worker_timeout,
         "max_dispatch_retries": config.max_dispatch_retries,
         "latency_budget": config.latency_budget,
+        "batch_window_mode": config.batch_window_mode,
+        "batch_window_min": config.batch_window_min,
+        "batch_window_max": config.batch_window_max,
+        "snapshot_mode": config.snapshot_mode,
+        "retention_horizon": config.retention_horizon,
     }
 
 
@@ -275,6 +282,31 @@ def deserialize_config(payload: Dict[str, object]) -> SystemConfig:
 # ----------------------------------------------------------------------
 # full service state
 # ----------------------------------------------------------------------
+#: append-only measurement lists in the two statistics partitions; they
+#: grow with served history, so incremental deltas carry only the tail
+#: written since the previous snapshot point
+_SIM_LIST_KEYS = (
+    "response_times",
+    "option_counts",
+    "waiting_distances",
+    "detour_ratios",
+)
+_INGEST_LIST_KEYS = ("window_fills", "latencies")
+
+
+def _serialize_record(record) -> Dict[str, object]:
+    """JSON payload of one per-request lifecycle record."""
+    return {
+        "submit_time": record.submit_time,
+        "planned_pickup_distance": record.planned_pickup_distance,
+        "pickup_time": record.pickup_time,
+        "dropoff_time": record.dropoff_time,
+        "shared": record.shared,
+        "direct_distance": record.direct_distance,
+        "travelled_distance": record.travelled_distance,
+    }
+
+
 def _serialize_sim_statistics(stats) -> Dict[str, object]:
     return {
         "response_times": list(stats.response_times),
@@ -288,16 +320,36 @@ def _serialize_sim_statistics(stats) -> Dict[str, object]:
         "waiting_distances": list(stats.waiting_distances),
         "detour_ratios": list(stats.detour_ratios),
         "records": {
-            rid: {
-                "submit_time": record.submit_time,
-                "planned_pickup_distance": record.planned_pickup_distance,
-                "pickup_time": record.pickup_time,
-                "dropoff_time": record.dropoff_time,
-                "shared": record.shared,
-                "direct_distance": record.direct_distance,
-                "travelled_distance": record.travelled_distance,
-            }
+            rid: _serialize_record(record)
             for rid, record in stats._records.items()
+        },
+    }
+
+
+def _serialize_sim_statistics_delta(stats, marker: Dict[str, int]) -> Dict[str, object]:
+    """The sim-statistics partition, incrementally: scalars wholesale,
+    measurement lists as the suffix appended since the last snapshot point
+    (``marker`` holds the lengths at that point), lifecycle records only
+    where dirtied.  A dirty id with no live record serialises as ``null``
+    (deleted), mirroring the bookings partition's retention convention."""
+    return {
+        "matched_requests": stats.matched_requests,
+        "unmatched_requests": stats.unmatched_requests,
+        "completed_requests": stats.completed_requests,
+        "shared_requests": stats.shared_requests,
+        "pickups": stats.pickups,
+        "dropoffs": stats.dropoffs,
+        "suffix": {
+            key: list(getattr(stats, key)[marker.get(key, 0):])
+            for key in _SIM_LIST_KEYS
+        },
+        "records": {
+            rid: (
+                None
+                if stats._records.get(rid) is None
+                else _serialize_record(stats._records[rid])
+            )
+            for rid in stats.dirty_records
         },
     }
 
@@ -349,11 +401,26 @@ def _serialize_ingest_statistics(stats) -> Dict[str, object]:
         "forced": stats.forced,
         "deadline_closed": stats.deadline_closed,
         "deadline_misses": stats.deadline_misses,
+        "window_grown": stats.window_grown,
+        "window_shrunk": stats.window_shrunk,
+        "retired": stats.retired,
         "peak_queue_depth": stats.peak_queue_depth,
         "serving_seconds": stats.serving_seconds,
         "window_fills": list(stats.window_fills),
         "latencies": list(stats.latencies),
     }
+
+
+def _serialize_ingest_statistics_delta(stats, marker: Dict[str, int]) -> Dict[str, object]:
+    """The ingest-statistics partition, incrementally (see the sim twin)."""
+    payload = _serialize_ingest_statistics(stats)
+    for key in _INGEST_LIST_KEYS:
+        payload.pop(key)
+    payload["suffix"] = {
+        key: list(getattr(stats, key)[marker.get(key, 0):])
+        for key in _INGEST_LIST_KEYS
+    }
+    return payload
 
 
 def _restore_ingest_statistics(stats, payload: Dict[str, object]) -> None:
@@ -369,51 +436,77 @@ def _restore_ingest_statistics(stats, payload: Dict[str, object]) -> None:
     stats.forced = int(payload["forced"])
     stats.deadline_closed = int(payload.get("deadline_closed", 0))
     stats.deadline_misses = int(payload.get("deadline_misses", 0))
+    stats.window_grown = int(payload.get("window_grown", 0))
+    stats.window_shrunk = int(payload.get("window_shrunk", 0))
+    stats.retired = int(payload.get("retired", 0))
     stats.peak_queue_depth = int(payload["peak_queue_depth"])
     stats.serving_seconds = float(payload["serving_seconds"])
     stats.window_fills = [float(v) for v in payload["window_fills"]]
     stats.latencies = [float(v) for v in payload["latencies"]]
 
 
-def serialize_state(service) -> Dict[str, object]:
-    """Capture the full logical state of a service as a JSON-able dict.
+def _serialize_booking(booking) -> Dict[str, object]:
+    """JSON payload of one booking (the unit of the bookings partition)."""
+    chosen_index = -1
+    if booking.chosen is not None:
+        chosen_index = booking.options.index(booking.chosen)
+    return {
+        "booking_id": booking.booking_id,
+        "request": serialize_request(booking.request),
+        "options": [serialize_option(option) for option in booking.options],
+        "chosen_index": chosen_index,
+        "response_seconds": booking.response_seconds,
+    }
 
-    Everything recovery needs to resume: bookings (requests, option
-    skylines, choices), the booking counter, every vehicle (via PR 6's
-    snapshot tuples), the engine's motion/target/assignment bookkeeping,
-    simulated time, the idle-wander RNG state, the statistics counters,
-    the micro-batcher's pending window and counters, the dispatcher's
-    active-request map and the current config.  JSON round-trips Python
-    floats exactly (shortest-repr), so restored state compares equal.
+
+def _serialize_meta_small(
+    service, pending_marker: Optional[Tuple[int, int]] = None
+) -> Dict[str, object]:
+    """The genuinely small meta keys: everything except bookings, vehicles
+    and the two statistics partitions.
+
+    Simulated time, RNG state, the engine's motion/target/assignment
+    bookkeeping (bounded by the fleet and its active rides), the
+    micro-batcher's pending window, the adaptive-window controller state
+    and the config.  Cheap and interdependent, so every incremental delta
+    carries it wholesale -- except the pending window, which can be the
+    single largest partition during a surge (hundreds of queued requests
+    per cadence interval).  When ``pending_marker`` is given as
+    ``(epoch, length)`` from the previous snapshot point and the batcher's
+    :attr:`~repro.service.ingest.MicroBatcher.pending_epoch` still matches
+    (no flush / eviction / cancel happened since -- appends only), the
+    payload becomes ``{"suffix": [...]}`` carrying just the newly admitted
+    entries; :func:`fold_delta` extends the folded queue.  Any epoch
+    mismatch falls back to the wholesale list.
     """
     engine = service._engine
     batcher = service._batcher
     rng_state = engine._rng.getstate()
-    bookings = []
-    for booking in service._bookings.values():
-        chosen_index = -1
-        if booking.chosen is not None:
-            chosen_index = booking.options.index(booking.chosen)
-        bookings.append(
-            {
-                "booking_id": booking.booking_id,
-                "request": serialize_request(booking.request),
-                "options": [serialize_option(option) for option in booking.options],
-                "chosen_index": chosen_index,
-                "response_seconds": booking.response_seconds,
-            }
-        )
+    entries = batcher.pending_entries()
+    pending_payload: object
+    if (
+        pending_marker is not None
+        and pending_marker[0] == batcher.pending_epoch
+        and pending_marker[1] <= len(entries)
+    ):
+        pending_payload = {
+            "suffix": [
+                [serialize_request(request), admitted]
+                for request, admitted in entries[pending_marker[1]:]
+            ]
+        }
+    else:
+        pending_payload = [
+            [serialize_request(request), admitted]
+            for request, admitted in entries
+        ]
     return {
         "version": STATE_VERSION,
         "time": engine._time,
         "ticks": engine._ticks,
         "rng_state": [rng_state[0], list(rng_state[1]), rng_state[2]],
         "booking_next": service._peek_booking_counter(),
-        "bookings": bookings,
         "ingest_answered": [b.booking_id for b in service._ingest_answered],
-        "vehicles": [
-            serialize_vehicle(vehicle) for vehicle in service._fleet.vehicles()
-        ],
         "motions": {
             vid: [motion.location, list(motion.route), motion.offset]
             for vid, motion in sorted(engine._motions.items())
@@ -428,15 +521,45 @@ def serialize_state(service) -> Dict[str, object]:
             for rid, record in sorted(engine._assignments.items())
         },
         "active_requests": dict(sorted(service._dispatcher._active_requests.items())),
-        "sim_stats": _serialize_sim_statistics(engine.statistics),
-        "ingest_stats": _serialize_ingest_statistics(batcher.statistics),
-        "pending": [
-            [serialize_request(request), admitted]
-            for request, admitted in batcher.pending_entries()
-        ],
+        "pending": pending_payload,
         "window_opened": batcher.window_opened,
+        "controller": batcher.controller_state(),
         "config": serialize_config(service._config),
     }
+
+
+def _serialize_meta(service) -> Dict[str, object]:
+    """Every state key *except* the bookings and vehicles partitions."""
+    state = _serialize_meta_small(service)
+    state["sim_stats"] = _serialize_sim_statistics(service._engine.statistics)
+    state["ingest_stats"] = _serialize_ingest_statistics(
+        service._batcher.statistics
+    )
+    return state
+
+
+def serialize_state(service) -> Dict[str, object]:
+    """Capture the full logical state of a service as a JSON-able dict.
+
+    Everything recovery needs to resume: bookings (requests, option
+    skylines, choices), the booking counter, every vehicle (via PR 6's
+    snapshot tuples), the engine's motion/target/assignment bookkeeping,
+    simulated time, the idle-wander RNG state, the statistics counters,
+    the micro-batcher's pending window, counters and adaptive-window
+    controller state, the dispatcher's active-request map and the current
+    config.  JSON round-trips Python floats exactly (shortest-repr), so
+    restored state compares equal.  The layout is partitioned -- bookings
+    / vehicles / everything-else -- so incremental snapshot deltas
+    (:func:`write_delta`) can re-serialise only what was touched.
+    """
+    state = _serialize_meta(service)
+    state["bookings"] = [
+        _serialize_booking(booking) for booking in service._bookings.values()
+    ]
+    state["vehicles"] = [
+        serialize_vehicle(vehicle) for vehicle in service._fleet.vehicles()
+    ]
+    return state
 
 
 def restore_state(service, state: Dict[str, object]) -> None:
@@ -514,6 +637,7 @@ def restore_state(service, state: Dict[str, object]) -> None:
         ],
         state["window_opened"],
     )
+    batcher.restore_controller(state.get("controller"))
 
 
 #: Keys stripped from :func:`canonical_state`: wall-clock measurements that
@@ -534,8 +658,12 @@ def canonical_state(service) -> Dict[str, object]:
     for booking in state["bookings"]:
         booking.pop("response_seconds", None)
     state["sim_stats"].pop("response_times", None)
-    for key in ("serving_seconds", "latencies"):
+    for key in ("serving_seconds", "latencies", "window_grown", "window_shrunk"):
         state["ingest_stats"].pop(key, None)
+    # The adaptive controller's EWMAs are driven by wall-clock flush walls;
+    # replay pins the recorded per-command windows instead (the journal
+    # payloads carry them), so controller internals are not canonical.
+    state.pop("controller", None)
     return state
 
 
@@ -553,17 +681,186 @@ def write_snapshot(journal: ServiceJournal, service, seq: int) -> Path:
     """
     state = serialize_state(service)
     state_text = json.dumps(state, separators=(",", ":"))
-    document = {
-        "seq": seq,
-        "checksum": hashlib.sha256(state_text.encode("utf-8")).hexdigest(),
-        "state": state,
-    }
+    checksum = hashlib.sha256(state_text.encode("utf-8")).hexdigest()
+    # Embed the already-encoded state verbatim instead of re-encoding it
+    # inside the document: the loader's checksum verification re-dumps the
+    # *parsed* state, so it already relies on JSON round-trip stability,
+    # and one encode instead of two is a third off the serialisation bill.
+    document_text = '{"seq":%d,"checksum":"%s","state":%s}' % (
+        seq, checksum, state_text,
+    )
     target = journal.snapshot_path(seq)
     tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(document, separators=(",", ":")), encoding="utf-8")
+    tmp.write_text(document_text, encoding="utf-8")
     os.replace(tmp, target)
     journal.prune_snapshots(keep=SNAPSHOT_KEEP)
     return target
+
+
+def write_delta(
+    journal: ServiceJournal,
+    service,
+    seq: int,
+    base_seq: int,
+    prev_seq: int,
+    dirty_bookings: Dict[str, None],
+    dirty_vehicles,
+    stats_marker: Dict[str, int],
+) -> Path:
+    """Atomically write an incremental snapshot delta at ``seq``.
+
+    A delta re-serialises only what changed since the previous snapshot
+    point: the small meta partition in full (counters, RNG, motions,
+    pending window -- cheap and interdependent), the statistics
+    partitions incrementally (scalar counters wholesale, measurement-list
+    suffixes past ``stats_marker``, dirtied lifecycle records only), plus
+    only the *dirty* bookings and vehicles.  ``dirty_bookings`` maps
+    booking id -> ``None`` in creation (insertion) order so a fold
+    preserves the bookings-list order of :func:`serialize_state`; ids no
+    longer present in the live map serialise as ``null``
+    (retention-pruned).  The delta chains on ``prev_seq`` (the previous
+    snapshot point: the base full snapshot or the previous delta) under
+    base full snapshot ``base_seq``; recovery folds the longest valid
+    chain and journal-replays past any break.  Same atomic
+    tmp-then-rename + checksum discipline as full snapshots.
+
+    Everything here is O(changed-since-last-point), never O(history) --
+    that is the whole point: the hot-path stall a cadence crossing causes
+    stays a small constant fraction of a full serialisation however long
+    the day has run.
+    """
+    bookings: Dict[str, object] = {}
+    for booking_id in dirty_bookings:
+        booking = service._bookings.get(booking_id)
+        bookings[booking_id] = None if booking is None else _serialize_booking(booking)
+    fleet = service._fleet
+    vehicles: Dict[str, object] = {}
+    for vehicle in fleet.vehicles():
+        if vehicle.vehicle_id in dirty_vehicles:
+            vehicles[vehicle.vehicle_id] = serialize_vehicle(vehicle)
+    pending_marker = (
+        stats_marker.get("pending_epoch", -1),
+        stats_marker.get("pending_len", 0),
+    )
+    delta = {
+        "version": STATE_VERSION,
+        "meta": _serialize_meta_small(service, pending_marker=pending_marker),
+        "sim_stats": _serialize_sim_statistics_delta(
+            service._engine.statistics, stats_marker
+        ),
+        "ingest_stats": _serialize_ingest_statistics_delta(
+            service._batcher.statistics, stats_marker
+        ),
+        "bookings": bookings,
+        "vehicles": vehicles,
+    }
+    delta_text = json.dumps(delta, separators=(",", ":"))
+    checksum = hashlib.sha256(delta_text.encode("utf-8")).hexdigest()
+    # Compose the document around the already-encoded delta (see
+    # write_snapshot): encoding the payload once instead of twice matters
+    # most here, on the hot path.
+    document_text = '{"seq":%d,"base":%d,"prev":%d,"checksum":"%s","delta":%s}' % (
+        seq, base_seq, prev_seq, checksum, delta_text,
+    )
+    target = journal.delta_path(seq)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    tmp.write_text(document_text, encoding="utf-8")
+    os.replace(tmp, target)
+    return target
+
+
+def _load_delta_file(
+    path: Path,
+) -> Optional[Tuple[int, int, int, Dict[str, object]]]:
+    """Parse + checksum-verify one delta file; ``None`` when unusable."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        delta = document["delta"]
+        delta_text = json.dumps(delta, separators=(",", ":"))
+        checksum = hashlib.sha256(delta_text.encode("utf-8")).hexdigest()
+        if checksum != document["checksum"]:
+            return None
+        if int(delta.get("version", -1)) != STATE_VERSION:
+            return None
+        return (
+            int(document["seq"]),
+            int(document["base"]),
+            int(document["prev"]),
+            delta,
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def fold_delta(state: Dict[str, object], delta: Dict[str, object]) -> None:
+    """Fold one delta into a full-snapshot ``state`` dict, in place.
+
+    The small meta partition overwrites wholesale -- except the pending
+    window, whose appends-only ``{"suffix": [...]}`` form extends the
+    folded queue instead; the statistics
+    partitions fold incrementally (scalars overwrite, measurement-list
+    suffixes append, dirty lifecycle records replace/insert/delete by
+    id); dirty vehicles replace their base entries by id (the fleet is
+    fixed, so deltas never add or remove vehicles); dirty bookings
+    replace-in-place, append (new bookings, in the delta's creation
+    order) or delete (``null`` payload -- retention).  The fold preserves
+    booking creation order, so a folded state is byte-identical to the
+    :func:`serialize_state` the service would have produced at the same
+    sequence position.
+    """
+    for key, value in delta["meta"].items():
+        if key == "pending" and isinstance(value, dict):
+            # Appends-only interval: the delta ships just the suffix of
+            # newly admitted entries (see _serialize_meta_small).
+            state[key] = list(state[key]) + list(value["suffix"])
+        else:
+            state[key] = value
+    sim_delta = delta["sim_stats"]
+    sim_state = state["sim_stats"]
+    for key, value in sim_delta.items():
+        if key in ("suffix", "records"):
+            continue
+        sim_state[key] = value
+    for key, tail in sim_delta["suffix"].items():
+        sim_state[key] = list(sim_state[key]) + list(tail)
+    records = sim_state["records"]
+    for rid, payload in sim_delta["records"].items():
+        if payload is None:
+            records.pop(rid, None)
+        else:
+            records[rid] = payload
+    ingest_delta = delta["ingest_stats"]
+    ingest_state = state["ingest_stats"]
+    for key, value in ingest_delta.items():
+        if key == "suffix":
+            continue
+        ingest_state[key] = value
+    for key, tail in ingest_delta["suffix"].items():
+        ingest_state[key] = list(ingest_state[key]) + list(tail)
+    vehicles = delta["vehicles"]
+    if vehicles:
+        state["vehicles"] = [
+            vehicles.get(payload["vehicle_id"], payload)
+            for payload in state["vehicles"]
+        ]
+    bookings = delta["bookings"]
+    if bookings:
+        folded: List[object] = []
+        seen = set()
+        for payload in state["bookings"]:
+            booking_id = payload["booking_id"]
+            if booking_id in bookings:
+                seen.add(booking_id)
+                replacement = bookings[booking_id]
+                if replacement is None:
+                    continue  # retention-pruned
+                folded.append(replacement)
+            else:
+                folded.append(payload)
+        for booking_id, payload in bookings.items():
+            if booking_id not in seen and payload is not None:
+                folded.append(payload)
+        state["bookings"] = folded
 
 
 def _load_snapshot_file(path: Path) -> Optional[Tuple[int, Dict[str, object]]]:
@@ -589,11 +886,16 @@ def load_snapshot_state(
 
     Walks the snapshot files newest-first, skipping corrupt or partial
     ones (bad checksum, truncated JSON, version mismatch) -- falling back
-    to an older snapshot simply means a longer replay.  With
-    ``prefer_snapshot=False`` only the baseline (sequence position 0) is
-    considered, forcing a full-journal replay -- the ablation arm of the
-    recovery benchmark and the reference side of the snapshot+tail ==
-    full-replay property.
+    to an older snapshot simply means a longer replay.  When incremental
+    deltas exist on top of the chosen full snapshot, the longest valid
+    chain (each delta checksummed, ``base`` == the full snapshot's seq,
+    ``prev`` linking snapshot -> delta -> delta without gaps) is folded in
+    order; a corrupt or torn delta truncates the chain there, and journal
+    replay covers the rest.  With ``prefer_snapshot=False`` only the
+    baseline (sequence position 0) is considered and deltas are ignored,
+    forcing a full-journal replay -- the ablation arm of the recovery
+    benchmark and the reference side of the snapshot+tail == full-replay
+    property.
 
     Raises:
         RecoveryError: when no snapshot (not even the baseline) is usable.
@@ -604,11 +906,33 @@ def load_snapshot_state(
     for seq, path in reversed(candidates):
         loaded = _load_snapshot_file(path)
         if loaded is not None:
+            if prefer_snapshot:
+                return _fold_delta_chain(journal, loaded)
             return loaded
     raise RecoveryError(
         f"no usable snapshot in {journal.directory} "
         f"(checked {len(candidates)} file(s))"
     )
+
+
+def _fold_delta_chain(
+    journal: ServiceJournal, loaded: Tuple[int, Dict[str, object]]
+) -> Tuple[int, Dict[str, object]]:
+    """Fold the longest valid delta chain over a loaded full snapshot."""
+    base_seq, state = loaded
+    prev_seq = base_seq
+    for delta_seq, delta_path in journal.delta_files():
+        if delta_seq <= base_seq:
+            continue
+        parsed = _load_delta_file(delta_path)
+        if parsed is None:
+            break  # corrupt/torn delta: journal replay covers the rest
+        seq, base, prev, delta = parsed
+        if seq != delta_seq or base != base_seq or prev != prev_seq:
+            break  # chain gap or stale delta from an older full snapshot
+        fold_delta(state, delta)
+        prev_seq = seq
+    return prev_seq, state
 
 
 # ----------------------------------------------------------------------
@@ -626,6 +950,14 @@ def apply_record(service, record: JournalRecord) -> None:
     if record.seq <= service._applied_seq:
         return
     kind, payload = record.kind, record.payload
+    # Adaptive-window commands journal the window that was in effect when
+    # they executed live (wall-clock flush walls drive the controller, so a
+    # replay would otherwise pick different window boundaries).  Pin it
+    # before re-executing.
+    if kind in ("admit", "pump", "drain"):
+        window = payload.get("window")
+        if window is not None:
+            service._batcher.set_window(float(window))
     try:
         if kind == "book":
             service.book_request(deserialize_request(payload["request"]))

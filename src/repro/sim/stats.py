@@ -79,6 +79,14 @@ class SimulationStatistics:
     waiting_distances: List[float] = field(default_factory=list)
     detour_ratios: List[float] = field(default_factory=list)
     _records: Dict[str, _RequestRecord] = field(default_factory=dict)
+    #: request ids whose record was created or mutated since the durable
+    #: service's last snapshot point (drained by incremental deltas, which
+    #: re-serialise only these instead of the whole records map); insertion
+    #: order is first-dirtied order, so newly created records append to a
+    #: folded state in creation order
+    dirty_records: Dict[str, None] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # event recording (called by the engine / service layer)
@@ -103,6 +111,7 @@ class SimulationStatistics:
                 planned_pickup_distance=planned_pickup_distance,
                 direct_distance=direct_distance,
             )
+            self.dirty_records[request_id] = None
         else:
             self.unmatched_requests += 1
 
@@ -113,6 +122,7 @@ class SimulationStatistics:
         if record is None:
             return
         record.pickup_time = time
+        self.dirty_records[request_id] = None
         self.waiting_distances.append(
             max(0.0, actual_pickup_distance - record.planned_pickup_distance)
         )
@@ -125,6 +135,7 @@ class SimulationStatistics:
             return
         record.dropoff_time = time
         record.travelled_distance = travelled_distance
+        self.dirty_records[request_id] = None
         self.completed_requests += 1
         if record.shared:
             self.shared_requests += 1
@@ -136,6 +147,7 @@ class SimulationStatistics:
         record = self._records.get(request_id)
         if record is not None:
             record.shared = True
+            self.dirty_records[request_id] = None
 
     # ------------------------------------------------------------------
     # derived metrics (the website panel)
